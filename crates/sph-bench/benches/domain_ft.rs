@@ -1,0 +1,62 @@
+//! Benchmarks of the domain-decomposition substrate (Table 3/4 rows) and
+//! the checkpoint codec — the remaining cost centres of a distributed
+//! step (decompose, exchange, checkpoint).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sph_domain::{halo_sets, orb_partition, sfc_partition, SfcKind};
+use sph_ft::codec::{decode, encode};
+use sph_math::{Aabb, Periodicity, SplitMix64, Vec3};
+
+fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64())).collect()
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_50k_64ranks");
+    let pts = random_points(50_000, 1);
+    group.bench_function("sfc_morton", |b| {
+        b.iter(|| black_box(sfc_partition(&pts, &Aabb::unit(), 64, SfcKind::Morton, &[])))
+    });
+    group.bench_function("sfc_hilbert", |b| {
+        b.iter(|| black_box(sfc_partition(&pts, &Aabb::unit(), 64, SfcKind::Hilbert, &[])))
+    });
+    group.bench_function("orb", |b| b.iter(|| black_box(orb_partition(&pts, 64, &[]))));
+    group.finish();
+}
+
+fn bench_halo_sets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halo_sets_20k");
+    group.sample_size(20);
+    let pts = random_points(20_000, 2);
+    let per = Periodicity::open(Aabb::unit());
+    for &ranks in &[16usize, 128] {
+        let d = orb_partition(&pts, ranks, &[]);
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &d, |b, d| {
+            b.iter(|| black_box(halo_sets(&pts, d, 0.05, &per)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_checkpoint_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_codec_50k");
+    group.sample_size(20);
+    let n = 50_000;
+    let pts = random_points(n, 3);
+    let sys = sph_core::ParticleSystem::new(
+        pts,
+        vec![Vec3::ZERO; n],
+        vec![1.0 / n as f64; n],
+        vec![0.5; n],
+        0.05,
+        Periodicity::open(Aabb::unit()),
+    );
+    group.bench_function("encode", |b| b.iter(|| black_box(encode(&sys))));
+    let bytes = encode(&sys);
+    group.bench_function("decode", |b| b.iter(|| black_box(decode(&bytes).unwrap())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners, bench_halo_sets, bench_checkpoint_codec);
+criterion_main!(benches);

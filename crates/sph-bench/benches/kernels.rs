@@ -1,0 +1,43 @@
+//! Micro-benchmarks of the interpolation kernels (Table 1/2 "Kernel").
+//!
+//! Quantifies the per-evaluation cost differences behind the calibrated
+//! cost models: the sinc family (SPHYNX) pays transcendental functions per
+//! call where the spline/Wendland kernels are pure polynomials.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sph_kernels::KernelKind;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_eval");
+    let qs: Vec<f64> = (0..1024).map(|i| i as f64 * (2.0 / 1024.0)).collect();
+    for kind in KernelKind::all() {
+        let kernel = kind.build();
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &q in &qs {
+                    acc += kernel.w_shape(black_box(q)) + kernel.dw_shape(black_box(q));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_gradients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_grad_w");
+    let kernel = KernelKind::Sinc(5).build();
+    let rij = sph_math::Vec3::new(0.03, 0.04, 0.0);
+    group.bench_function("sinc5_grad", |b| {
+        b.iter(|| black_box(kernel.grad_w(black_box(rij), black_box(0.1))))
+    });
+    let kernel = KernelKind::WendlandC2.build();
+    group.bench_function("wendland_c2_grad", |b| {
+        b.iter(|| black_box(kernel.grad_w(black_box(rij), black_box(0.1))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_kernel_gradients);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Benchmarks of the SPH pipeline phases (Algorithm 1, step 3) and full
+//! time-steps for each parent-code configuration — the measured (host)
+//! side of the per-interaction cost calibration in EXPERIMENTS.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sph_bench::{build_evrard_sim, build_square_sim};
+use sph_core::config::GradientScheme;
+use sph_core::density::compute_density;
+use sph_core::forces::compute_forces;
+use sph_core::gradients::compute_iad_matrices;
+use sph_core::volume::compute_volume_elements;
+use sph_parents::{changa, sphflow, sphynx};
+use sph_tree::{Octree, OctreeConfig};
+
+const N: usize = 8_000;
+
+fn bench_density_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_pass");
+    group.sample_size(20);
+    for setup in [sphynx(), changa(), sphflow()] {
+        let sim = build_square_sim(&setup, N);
+        let mut sys = sim.sys.clone();
+        let cfg = sim.config;
+        let kernel = cfg.kernel.build();
+        let tree = Octree::build(&sys.x, &sys.bounds(), OctreeConfig::default());
+        let active: Vec<u32> = (0..sys.len() as u32).collect();
+        group.bench_function(setup.name, |b| {
+            b.iter(|| {
+                black_box(compute_density(&mut sys, &tree, kernel.as_ref(), &cfg, &active).1)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_force_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("force_pass");
+    group.sample_size(20);
+    for setup in [sphynx(), sphflow()] {
+        let sim = build_square_sim(&setup, N);
+        let mut sys = sim.sys.clone();
+        let cfg = sim.config;
+        let kernel = cfg.kernel.build();
+        let tree = Octree::build(&sys.x, &sys.bounds(), OctreeConfig::default());
+        let active: Vec<u32> = (0..sys.len() as u32).collect();
+        let (lists, _) = compute_density(&mut sys, &tree, kernel.as_ref(), &cfg, &active);
+        compute_volume_elements(&mut sys, &lists, kernel.as_ref(), &cfg, &active);
+        if cfg.gradients == GradientScheme::Iad {
+            compute_iad_matrices(&mut sys, &lists, kernel.as_ref(), &active);
+        }
+        let eos = sph_core::IdealGas::new(cfg.gamma);
+        eos.apply(&sys.rho, &sys.u, &mut sys.p, &mut sys.cs);
+        let sym = lists.symmetrized();
+        group.bench_function(setup.name, |b| {
+            b.iter(|| black_box(compute_forces(&mut sys, &sym, kernel.as_ref(), &cfg, &active)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_step");
+    group.sample_size(10);
+    group.bench_function("square_sphflow", |b| {
+        b.iter_with_setup(
+            || build_square_sim(&sphflow(), 4_000),
+            |mut sim| black_box(sim.step()),
+        )
+    });
+    group.bench_function("evrard_sphynx_gravity", |b| {
+        b.iter_with_setup(
+            || build_evrard_sim(&sphynx(), 4_000, 1),
+            |mut sim| black_box(sim.step()),
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_density_pass, bench_force_pass, bench_full_steps);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Regenerate the §5.2 POP efficiency analysis:
+//!
+//! "While the communication efficiency and computation scalability are
+//! close to ideal, the measured global efficiency steadily decreases from
+//! 48 cores to 192 cores. Most of the efficiency loss comes from an
+//! increased load imbalance."
+//!
+//! ```text
+//! cargo run --release -p sph-bench --bin pop_metrics
+//! cargo run --release -p sph-bench --bin pop_metrics -- --code sphynx --test evrard
+//! ```
+
+use sph_bench::{wire_experiment, ExperimentScale};
+use sph_cluster::tracegen::{step_trace, PhaseProfile};
+use sph_cluster::{model_step, piz_daint, StepWorkload};
+use sph_parents::{changa, sphflow, sphynx, CodeSetup, Scenario};
+use sph_profiler::pop_metrics;
+
+fn analyse(setup: &CodeSetup, scenario: Scenario, scale: ExperimentScale) {
+    let name = match scenario {
+        Scenario::SquarePatch => "Square",
+        Scenario::Evrard => "Evrard",
+    };
+    println!("=== POP efficiency: {} / {name}, Piz Daint model ===", setup.name);
+    let (mut sim, model) = wire_experiment(setup, scenario, piz_daint(), scale);
+    for _ in 0..scale.steps.min(2) {
+        sim.step();
+    }
+    let work = sim.per_particle_work().to_vec();
+    let zeros = vec![0.0; sim.sys.len()];
+    let workload = StepWorkload {
+        positions: &sim.sys.x,
+        sph_work: &work,
+        gravity_work: &zeros,
+        interaction_radius: 2.0 * sim.sys.max_h(),
+        periodicity: sim.sys.periodicity,
+        bounds: sim.sys.bounds(),
+    };
+    let profile = match scenario {
+        Scenario::Evrard => PhaseProfile { serial_tree: setup.serial_tree, ..PhaseProfile::sphynx_evrard() },
+        Scenario::SquarePatch => PhaseProfile::hydro_only(setup.serial_tree),
+    };
+    // Reference (lowest core count) total useful time for CompScal.
+    let mut reference_useful: Option<f64> = None;
+    println!("  cores  LB      CommE   ParE    CompScal  GlobalE");
+    for cores in [12usize, 24, 48, 96, 192, 384] {
+        let timing = model_step(&workload, cores, &model, Some(&work));
+        let trace = step_trace(&timing, &profile);
+        let m = pop_metrics(&trace, reference_useful);
+        if reference_useful.is_none() {
+            reference_useful = Some(trace.total_useful());
+        }
+        println!(
+            "  {cores:5}  {:5.1}%  {:5.1}%  {:5.1}%  {:7.1}%  {:6.1}%",
+            m.load_balance * 100.0,
+            m.communication_efficiency * 100.0,
+            m.parallel_efficiency * 100.0,
+            m.computation_scalability * 100.0,
+            m.global_efficiency * 100.0
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pick = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.to_lowercase())
+    };
+    let code = pick("--code");
+    let test = pick("--test");
+    let scale = ExperimentScale::from_env();
+    println!(
+        "POP metrics sweep ({} particles; paper quote: global efficiency decreases 48→192 \
+         cores, dominated by load imbalance)\n",
+        scale.particles
+    );
+    for (setup, key) in [(sphynx(), "sphynx"), (changa(), "changa"), (sphflow(), "sphflow")] {
+        if code.as_deref().is_some_and(|c| c != key) {
+            continue;
+        }
+        if test.as_deref() != Some("evrard") {
+            analyse(&setup, Scenario::SquarePatch, scale);
+        }
+        if test.as_deref() != Some("square") && setup.supports_evrard() {
+            analyse(&setup, Scenario::Evrard, scale);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Regenerate Tables 1–5 of the paper.
+//!
+//! ```text
+//! cargo run -p sph-bench --bin tables            # all five
+//! cargo run -p sph-bench --bin tables -- --table 3
+//! ```
+//!
+//! Tables 1–4 come from the feature registry in `sph-parents` (tested to
+//! agree with the executable configurations); Table 5 from the scenario
+//! registry in `sph-scenarios`.
+
+use sph_parents::features::{table1, table2, table3, table4};
+use sph_parents::render_table;
+use sph_scenarios::scenario_table;
+
+fn render_table5() -> String {
+    let mut out = String::from("Table 5: Test simulations and their characteristics\n");
+    out.push_str(&format!(
+        "| {:22} | {:70} | {:18} | {:14} | {:24} | {:26} |\n",
+        "Test Simulation", "Description", "Domain Size", "Sim. Length", "SPH Code", "Test Platform"
+    ));
+    out.push_str(&"-".repeat(196));
+    out.push('\n');
+    for s in scenario_table() {
+        out.push_str(&format!(
+            "| {:22} | {:70} | {:18} | {:14} | {:24} | {:26} |\n",
+            format!("{} [{}]", s.name, s.reference),
+            s.description,
+            s.domain,
+            s.simulation_length,
+            s.codes,
+            s.platforms
+        ));
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which: Option<u32> = args
+        .iter()
+        .position(|a| a == "--table")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+
+    let all = which.is_none();
+    let want = |t: u32| all || which == Some(t);
+
+    if want(1) {
+        println!("{}", render_table(&table1()));
+    }
+    if want(2) {
+        println!("{}", render_table(&table2()));
+    }
+    if want(3) {
+        println!("{}", render_table(&table3()));
+    }
+    if want(4) {
+        println!("{}", render_table(&table4()));
+    }
+    if want(5) {
+        println!("{}", render_table5());
+    }
+}

@@ -1,0 +1,56 @@
+//! Weak scaling — the experiment §5.2 names as unexplored future work:
+//! "A factor that has not yet been explored is the weak scaling of these
+//! codes, which is usually the regime in which they operate in production
+//! runs. This is part of ongoing analysis work."
+//!
+//! ```text
+//! cargo run --release -p sph-bench --bin weak_scaling
+//! cargo run --release -p sph-bench --bin weak_scaling -- --per-core 2000
+//! ```
+//!
+//! The problem grows with the machine so particles/core stays fixed; a
+//! flat time-per-step line is ideal. Run for each parent code on the
+//! square patch (the test all three support).
+
+use sph_bench::build_square_sim;
+use sph_cluster::scaling::{render_weak_scaling_table, weak_scaling_experiment};
+use sph_cluster::{piz_daint, StepModelConfig};
+use sph_parents::{changa, sphflow, sphynx, Scenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let per_core: usize = args
+        .iter()
+        .position(|a| a == "--per-core")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000);
+    let steps: usize = std::env::var("SPH_EXA_STEPS").ok().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let core_counts = [12usize, 24, 48, 96];
+    println!(
+        "weak scaling, {per_core} particles/core, cores {core_counts:?}, {steps} steps \
+         (the §5.2 'production regime' experiment)\n"
+    );
+    for setup in [sphynx(), changa(), sphflow()] {
+        let model = StepModelConfig {
+            partitioner: setup.partitioner,
+            balancing: setup.balancing,
+            machine: piz_daint(),
+            cost: setup.cost_for(Scenario::SquarePatch),
+        };
+        let rows = weak_scaling_experiment(
+            |n| build_square_sim(&setup, n),
+            &model,
+            &core_counts,
+            per_core,
+            steps,
+        );
+        println!(
+            "{}",
+            render_weak_scaling_table(
+                &format!("{} (square patch, Piz Daint model)", setup.name),
+                &rows
+            )
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Equations of state.
+//!
+//! Both test cases in Table 5 use an ideal gas: the Evrard collapse
+//! explicitly with γ = 5/3 (§5.1) and the square patch as the standard
+//! weakly-compressible treatment of the originally incompressible problem.
+
+/// Ideal-gas EOS: `P = (γ − 1) ρ u`, `c_s = √(γ P / ρ)`.
+#[derive(Debug, Clone, Copy)]
+pub struct IdealGas {
+    pub gamma: f64,
+}
+
+impl IdealGas {
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma > 1.0, "ideal gas needs γ > 1, got {gamma}");
+        IdealGas { gamma }
+    }
+
+    /// Pressure from density and specific internal energy.
+    #[inline]
+    pub fn pressure(&self, rho: f64, u: f64) -> f64 {
+        (self.gamma - 1.0) * rho * u
+    }
+
+    /// Sound speed; clamped at zero for cold gas.
+    #[inline]
+    pub fn sound_speed(&self, rho: f64, u: f64) -> f64 {
+        let p = self.pressure(rho, u).max(0.0);
+        if rho > 0.0 {
+            (self.gamma * p / rho).sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// Specific internal energy that yields pressure `p` at density `rho`.
+    #[inline]
+    pub fn energy_from_pressure(&self, rho: f64, p: f64) -> f64 {
+        if rho > 0.0 {
+            p / ((self.gamma - 1.0) * rho)
+        } else {
+            0.0
+        }
+    }
+
+    /// Apply the EOS to whole field arrays, writing `p` and `cs`.
+    pub fn apply(&self, rho: &[f64], u: &[f64], p: &mut [f64], cs: &mut [f64]) {
+        assert!(rho.len() == u.len() && u.len() == p.len() && p.len() == cs.len());
+        for i in 0..rho.len() {
+            p[i] = self.pressure(rho[i], u[i]);
+            cs[i] = self.sound_speed(rho[i], u[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monatomic_gas_values() {
+        let eos = IdealGas::new(5.0 / 3.0);
+        let p = eos.pressure(2.0, 3.0);
+        assert!((p - 4.0).abs() < 1e-14); // (5/3−1)·2·3 = 4
+        let cs = eos.sound_speed(2.0, 3.0);
+        assert!((cs - (5.0 / 3.0 * 4.0 / 2.0_f64).sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn energy_pressure_roundtrip() {
+        let eos = IdealGas::new(1.4);
+        let u = eos.energy_from_pressure(1.2, 3.4);
+        assert!((eos.pressure(1.2, u) - 3.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cold_gas_is_silent() {
+        let eos = IdealGas::new(5.0 / 3.0);
+        assert_eq!(eos.sound_speed(1.0, 0.0), 0.0);
+        assert_eq!(eos.pressure(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_gamma_one() {
+        let _ = IdealGas::new(1.0);
+    }
+
+    #[test]
+    fn apply_fills_arrays() {
+        let eos = IdealGas::new(5.0 / 3.0);
+        let rho = [1.0, 2.0];
+        let u = [0.5, 0.25];
+        let mut p = [0.0; 2];
+        let mut cs = [0.0; 2];
+        eos.apply(&rho, &u, &mut p, &mut cs);
+        assert!(p.iter().all(|&x| x > 0.0));
+        assert!(cs.iter().all(|&x| x > 0.0));
+    }
+}

@@ -1,0 +1,110 @@
+//! Time integrators (Algorithm 1, step 6 "Update velocity and position").
+//!
+//! The drift/kick primitives are split out so the step drivers in
+//! `sph-exa` can compose them: a plain Euler step for smoke tests and the
+//! kick–drift–kick (KDK) leapfrog used for production runs (second order,
+//! symplectic for separable Hamiltonians — the standard choice of the
+//! parent codes).
+
+use crate::particles::ParticleSystem;
+
+/// Kick: `v += a·dt`, `u += u̇·dt` for the given particles.
+/// Internal energy is floored at zero (artificial viscosity can slightly
+/// overcool cold flows in finite precision).
+pub fn kick(sys: &mut ParticleSystem, dt: f64, active: &[u32]) {
+    for &ai in active {
+        let i = ai as usize;
+        sys.v[i] += sys.a[i] * dt;
+        sys.u[i] = (sys.u[i] + sys.du_dt[i] * dt).max(0.0);
+    }
+}
+
+/// Drift: `x += v·dt` for **all** particles, wrapping periodic axes.
+pub fn drift(sys: &mut ParticleSystem, dt: f64) {
+    let per = sys.periodicity;
+    for i in 0..sys.len() {
+        sys.x[i] = per.wrap(sys.x[i] + sys.v[i] * dt);
+    }
+}
+
+/// First-order Euler update of the given particles (tests/demos only).
+pub fn euler_step(sys: &mut ParticleSystem, dt: f64, active: &[u32]) {
+    kick(sys, dt, active);
+    drift(sys, dt);
+    sys.time += dt;
+    sys.step_count += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sph_math::{Aabb, Periodicity, Vec3};
+
+    fn two_body() -> ParticleSystem {
+        ParticleSystem::new(
+            vec![Vec3::splat(0.25), Vec3::splat(0.75)],
+            vec![Vec3::X, -Vec3::X],
+            vec![1.0, 1.0],
+            vec![1.0, 1.0],
+            0.1,
+            Periodicity::open(Aabb::unit()),
+        )
+    }
+
+    #[test]
+    fn kick_updates_velocity_and_energy() {
+        let mut sys = two_body();
+        sys.a[0] = Vec3::Y * 2.0;
+        sys.du_dt[0] = 3.0;
+        kick(&mut sys, 0.5, &[0]);
+        assert_eq!(sys.v[0], Vec3::new(1.0, 1.0, 0.0));
+        assert_eq!(sys.u[0], 2.5);
+        // Particle 1 untouched.
+        assert_eq!(sys.v[1], -Vec3::X);
+    }
+
+    #[test]
+    fn kick_floors_internal_energy() {
+        let mut sys = two_body();
+        sys.du_dt[0] = -100.0;
+        kick(&mut sys, 1.0, &[0]);
+        assert_eq!(sys.u[0], 0.0);
+    }
+
+    #[test]
+    fn drift_moves_everyone() {
+        let mut sys = two_body();
+        drift(&mut sys, 0.1);
+        assert!((sys.x[0].x - 0.35).abs() < 1e-15);
+        assert!((sys.x[1].x - 0.65).abs() < 1e-15);
+    }
+
+    #[test]
+    fn drift_wraps_periodic_axes() {
+        let mut sys = two_body();
+        sys.periodicity = Periodicity::periodic_z(Aabb::unit());
+        sys.v[0] = Vec3::Z * 10.0;
+        drift(&mut sys, 0.1); // z: 0.25 + 1.0 → wraps to 0.25
+        assert!((sys.x[0].z - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euler_advances_clock() {
+        let mut sys = two_body();
+        let active: Vec<u32> = vec![0, 1];
+        euler_step(&mut sys, 0.25, &active);
+        assert_eq!(sys.time, 0.25);
+        assert_eq!(sys.step_count, 1);
+    }
+
+    #[test]
+    fn free_particle_moves_ballistically() {
+        let mut sys = two_body();
+        let active: Vec<u32> = vec![0, 1];
+        for _ in 0..10 {
+            euler_step(&mut sys, 0.01, &active);
+        }
+        assert!((sys.x[0].x - 0.35).abs() < 1e-12);
+        assert!((sys.time - 0.1).abs() < 1e-12);
+    }
+}

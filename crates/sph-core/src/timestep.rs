@@ -1,0 +1,240 @@
+//! Time-step control (Algorithm 1, step 5; Table 1 "Time-Stepping").
+//!
+//! Three policies, one per parent code:
+//! * **Global** (SPHYNX): one Δt = min over all particles of the local
+//!   criterion — simple, synchronous, and the source of the load-imbalance
+//!   the paper measures when particle costs differ;
+//! * **Individual** (ChaNGa): power-of-two block rungs so cheap particles
+//!   step rarely — the "multi-time-stepping" performance factor §1 calls
+//!   out, and why ChaNGa wins on the centrally-condensed Evrard test;
+//! * **Adaptive** (SPH-flow): a global step recomputed each step with a
+//!   growth limiter.
+//!
+//! The local criterion combines the CFL/signal-velocity bound
+//! `h / (c + 1.2(αc + βh max(0, −∇·v)))` (Monaghan 1992) with the force
+//! bound `√(h/|a|)`.
+
+use crate::config::SphConfig;
+use crate::particles::ParticleSystem;
+
+/// Per-particle stable time-step from the CFL and force criteria.
+/// Requires `cs`, `div_v` and `a` to be current.
+pub fn per_particle_dt(sys: &ParticleSystem, cfg: &SphConfig) -> Vec<f64> {
+    let alpha = cfg.viscosity.alpha;
+    let beta = cfg.viscosity.beta;
+    (0..sys.len())
+        .map(|i| {
+            let h = sys.h[i];
+            let compress = (-sys.div_v[i]).max(0.0);
+            let v_sig = sys.cs[i] + 1.2 * (alpha * sys.cs[i] + beta * h * compress);
+            let dt_cfl = if v_sig > 0.0 { h / v_sig } else { f64::INFINITY };
+            let a = sys.a[i].norm();
+            let dt_force = if a > 0.0 { (h / a).sqrt() } else { f64::INFINITY };
+            cfg.cfl * dt_cfl.min(dt_force)
+        })
+        .collect()
+}
+
+/// Global time-step: the minimum of the per-particle bounds, clamped to a
+/// hard floor to survive pathological states.
+pub fn global_dt(dts: &[f64]) -> f64 {
+    let dt = dts.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(dt > 0.0, "non-positive time-step");
+    if dt.is_finite() {
+        dt
+    } else {
+        // Cold, static, force-free gas: any step is stable; pick unity.
+        1.0
+    }
+}
+
+/// Adaptive step (SPH-flow): new global bound, limited to
+/// `growth_limit × previous` so the step cannot explode after a transient.
+pub fn adaptive_dt(dts: &[f64], previous: f64, growth_limit: f64) -> f64 {
+    let raw = global_dt(dts);
+    if previous > 0.0 {
+        raw.min(previous * growth_limit)
+    } else {
+        raw
+    }
+}
+
+/// Block-time-step rung assignment (ChaNGa).
+///
+/// Rung `r` steps with `Δt_max / 2^r`; a particle needing `dt_i` lands on
+/// the smallest rung whose step does not exceed `dt_i`, capped at
+/// `max_rungs`.
+pub fn assign_rungs(dts: &[f64], dt_max: f64, max_rungs: u8) -> Vec<u8> {
+    assert!(dt_max > 0.0);
+    dts.iter()
+        .map(|&dt| {
+            if !dt.is_finite() || dt >= dt_max {
+                return 0;
+            }
+            let r = (dt_max / dt).log2().ceil().max(0.0) as u32;
+            r.min(max_rungs as u32) as u8
+        })
+        .collect()
+}
+
+/// Which rungs are active at a given substep of the macro-step.
+///
+/// A macro-step of `Δt_max` is divided into `2^deepest` substeps; the
+/// particles on rung `r` are kicked on substeps that are multiples of
+/// `2^(deepest − r)`. Substep 0 activates everyone.
+pub fn rung_is_active(rung: u8, substep: u64, deepest: u8) -> bool {
+    debug_assert!(rung <= deepest);
+    let period = 1u64 << (deepest - rung);
+    substep.is_multiple_of(period)
+}
+
+/// Indices of particles active at `substep` under the given rungs.
+pub fn active_at_substep(rungs: &[u8], substep: u64, deepest: u8) -> Vec<u32> {
+    rungs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &r)| rung_is_active(r.min(deepest), substep, deepest))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Total force evaluations of one macro-step with block rungs, relative to
+/// the `n · 2^deepest` a global scheme would need. The paper's §1 names
+/// multi-time-stepping a major performance factor; this ratio quantifies
+/// it for the cost model.
+pub fn block_step_work_ratio(rungs: &[u8], deepest: u8) -> f64 {
+    let substeps = 1u64 << deepest;
+    let mut work = 0u64;
+    for s in 0..substeps {
+        for &r in rungs {
+            if rung_is_active(r.min(deepest), s, deepest) {
+                work += 1;
+            }
+        }
+    }
+    work as f64 / (rungs.len() as u64 * substeps) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sph_math::{Aabb, Periodicity, Vec3};
+
+    fn static_system(n: usize) -> ParticleSystem {
+        ParticleSystem::new(
+            (0..n).map(|i| Vec3::splat(i as f64 * 0.01)).collect(),
+            vec![Vec3::ZERO; n],
+            vec![1.0; n],
+            vec![1.0; n],
+            0.1,
+            Periodicity::open(Aabb::unit()),
+        )
+    }
+
+    #[test]
+    fn hot_gas_limits_the_step() {
+        let mut sys = static_system(4);
+        sys.cs = vec![1.0, 1.0, 10.0, 1.0]; // one hot particle
+        let cfg = SphConfig::default();
+        let dts = per_particle_dt(&sys, &cfg);
+        assert!(dts[2] < dts[0]);
+        assert!((global_dt(&dts) - dts[2]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn force_criterion_engages() {
+        let mut sys = static_system(2);
+        sys.cs = vec![0.0; 2]; // silent gas: CFL unbounded
+        sys.a[1] = Vec3::new(100.0, 0.0, 0.0);
+        let cfg = SphConfig::default();
+        let dts = per_particle_dt(&sys, &cfg);
+        assert!(dts[0].is_infinite());
+        let expected = cfg.cfl * (sys.h[1] / 100.0_f64).sqrt();
+        assert!((dts[1] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compression_tightens_cfl() {
+        let mut sys = static_system(2);
+        sys.cs = vec![1.0; 2];
+        sys.div_v = vec![0.0, -50.0]; // strongly converging at particle 1
+        let cfg = SphConfig::default();
+        let dts = per_particle_dt(&sys, &cfg);
+        assert!(dts[1] < dts[0]);
+        // Expansion must NOT tighten the step.
+        sys.div_v = vec![0.0, 50.0];
+        let dts2 = per_particle_dt(&sys, &cfg);
+        assert!((dts2[1] - dts2[0]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cold_static_gas_gets_unit_step() {
+        let dts = vec![f64::INFINITY; 3];
+        assert_eq!(global_dt(&dts), 1.0);
+    }
+
+    #[test]
+    fn adaptive_growth_is_limited() {
+        let dts = vec![10.0];
+        let dt = adaptive_dt(&dts, 1.0, 1.1);
+        assert!((dt - 1.1).abs() < 1e-15, "growth must be capped: {dt}");
+        // Shrinking is immediate.
+        let dt = adaptive_dt(&[0.1], 1.0, 1.1);
+        assert!((dt - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rung_assignment_powers_of_two() {
+        let dt_max = 1.0;
+        let rungs = assign_rungs(&[1.0, 0.6, 0.3, 0.12, 1e-6], dt_max, 8);
+        assert_eq!(rungs, vec![0, 1, 2, 4, 8]); // last capped at max_rungs
+    }
+
+    #[test]
+    fn rung_step_never_exceeds_particle_dt() {
+        let dt_max = 2.0;
+        let dts = [1.7, 0.9, 0.4, 0.26];
+        let rungs = assign_rungs(&dts, dt_max, 10);
+        for (&dt, &r) in dts.iter().zip(&rungs) {
+            let rung_dt = dt_max / (1u64 << r) as f64;
+            assert!(rung_dt <= dt + 1e-12, "rung {r} step {rung_dt} > allowed {dt}");
+        }
+    }
+
+    #[test]
+    fn substep_activation_pattern() {
+        // deepest = 2 ⇒ 4 substeps. Rung 0 actives at 0; rung 1 at 0, 2;
+        // rung 2 at every substep.
+        assert!(rung_is_active(0, 0, 2));
+        assert!(!rung_is_active(0, 1, 2));
+        assert!(!rung_is_active(0, 2, 2));
+        assert!(rung_is_active(1, 0, 2));
+        assert!(rung_is_active(1, 2, 2));
+        assert!(!rung_is_active(1, 1, 2));
+        for s in 0..4 {
+            assert!(rung_is_active(2, s, 2));
+        }
+    }
+
+    #[test]
+    fn active_lists_match_pattern() {
+        let rungs = vec![0, 1, 2, 2];
+        assert_eq!(active_at_substep(&rungs, 0, 2), vec![0, 1, 2, 3]);
+        assert_eq!(active_at_substep(&rungs, 1, 2), vec![2, 3]);
+        assert_eq!(active_at_substep(&rungs, 2, 2), vec![1, 2, 3]);
+        assert_eq!(active_at_substep(&rungs, 3, 2), vec![2, 3]);
+    }
+
+    #[test]
+    fn block_stepping_saves_work_on_condensed_systems() {
+        // 90% of particles on rung 0, 10% on rung 4 (an Evrard-like core):
+        // work ratio must be far below 1 (the global-stepping cost).
+        let mut rungs = vec![0u8; 900];
+        rungs.extend(vec![4u8; 100]);
+        let ratio = block_step_work_ratio(&rungs, 4);
+        assert!(ratio < 0.2, "work ratio {ratio}");
+        // All particles on the deepest rung = no savings.
+        let ratio = block_step_work_ratio(&vec![3u8; 100], 3);
+        assert!((ratio - 1.0).abs() < 1e-12);
+    }
+}

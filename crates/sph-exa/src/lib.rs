@@ -1,0 +1,24 @@
+//! The SPH-EXA mini-app driver.
+//!
+//! [`Simulation`] executes Algorithm 1 of the paper:
+//!
+//! ```text
+//! Initialization
+//! while target simulated time is not reached do
+//!   1. Build tree                      (phase A)
+//!   2. Find neighbors and h            (phases B–D)
+//!   3. Execute SPH kernels             (phases E–H)
+//!   4. (Optional) Compute self-gravity (phase I)
+//!   5. Compute new time-step           (phase J)
+//!   6. Update velocity and position    (phase J)
+//! end while
+//! ```
+//!
+//! over any [`sph_core::SphConfig`] (i.e. any cell of Tables 1–2), with
+//! global, adaptive or individual block time-stepping, optional
+//! self-gravity, per-phase wall-clock timing and per-particle work
+//! accounting (the input of the cluster performance model).
+
+pub mod simulation;
+
+pub use simulation::{Simulation, SimulationBuilder, StepReport};

@@ -1,0 +1,210 @@
+//! Checkpoint stores: where serialized snapshots live.
+//!
+//! The multilevel scheme of Table 4 needs multiple storage tiers with
+//! different speeds and failure coverage; this module provides the common
+//! store interface plus an in-memory tier (standing in for node-local
+//! RAM/NVMe — fast, lost on node failure) and a disk tier (standing in
+//! for the parallel file system — slow, survives everything).
+
+use crate::codec::{decode, encode, CodecError};
+use sph_core::particles::ParticleSystem;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+/// A place checkpoints can be written to and restored from.
+pub trait CheckpointStore {
+    /// Persist a snapshot under `label`; returns the stored size in bytes.
+    fn save(&mut self, label: &str, sys: &ParticleSystem) -> Result<usize, String>;
+    /// Restore the snapshot stored under `label`.
+    fn restore(&self, label: &str) -> Result<ParticleSystem, String>;
+    /// Labels currently stored, sorted.
+    fn labels(&self) -> Vec<String>;
+    /// Drop a snapshot (e.g. when a simulated node failure wipes the tier).
+    fn invalidate(&mut self, label: &str);
+    /// Drop everything (tier-wide loss).
+    fn invalidate_all(&mut self);
+}
+
+/// In-memory store: the "L1 node-local" tier.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    blobs: BTreeMap<String, Vec<u8>>,
+}
+
+impl MemoryStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CheckpointStore for MemoryStore {
+    fn save(&mut self, label: &str, sys: &ParticleSystem) -> Result<usize, String> {
+        let bytes = encode(sys);
+        let size = bytes.len();
+        self.blobs.insert(label.to_string(), bytes);
+        Ok(size)
+    }
+
+    fn restore(&self, label: &str) -> Result<ParticleSystem, String> {
+        let bytes = self.blobs.get(label).ok_or_else(|| format!("no checkpoint '{label}'"))?;
+        decode(bytes).map_err(|e: CodecError| e.to_string())
+    }
+
+    fn labels(&self) -> Vec<String> {
+        self.blobs.keys().cloned().collect()
+    }
+
+    fn invalidate(&mut self, label: &str) {
+        self.blobs.remove(label);
+    }
+
+    fn invalidate_all(&mut self) {
+        self.blobs.clear();
+    }
+}
+
+/// On-disk store: the "L3 parallel file system" tier.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+}
+
+impl DiskStore {
+    /// Store checkpoints under `dir` (created if missing).
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        Ok(DiskStore { dir })
+    }
+
+    fn path_of(&self, label: &str) -> PathBuf {
+        // Sanitise: labels become file names.
+        let safe: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        self.dir.join(format!("{safe}.sphcp"))
+    }
+}
+
+impl CheckpointStore for DiskStore {
+    fn save(&mut self, label: &str, sys: &ParticleSystem) -> Result<usize, String> {
+        let bytes = encode(sys);
+        let path = self.path_of(label);
+        let tmp = path.with_extension("tmp");
+        // Write-then-rename: a crash mid-write never corrupts the previous
+        // checkpoint — the property multilevel recovery depends on.
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| e.to_string())?;
+            f.write_all(&bytes).map_err(|e| e.to_string())?;
+            f.sync_all().map_err(|e| e.to_string())?;
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| e.to_string())?;
+        Ok(bytes.len())
+    }
+
+    fn restore(&self, label: &str) -> Result<ParticleSystem, String> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(self.path_of(label))
+            .map_err(|e| format!("no checkpoint '{label}': {e}"))?
+            .read_to_end(&mut bytes)
+            .map_err(|e| e.to_string())?;
+        decode(&bytes).map_err(|e| e.to_string())
+    }
+
+    fn labels(&self) -> Vec<String> {
+        let mut out: Vec<String> = std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter_map(|e| {
+                        let name = e.file_name().into_string().ok()?;
+                        name.strip_suffix(".sphcp").map(str::to_string)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+
+    fn invalidate(&mut self, label: &str) {
+        let _ = std::fs::remove_file(self.path_of(label));
+    }
+
+    fn invalidate_all(&mut self) {
+        for l in self.labels() {
+            self.invalidate(&l);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sph_math::{Aabb, Periodicity, Vec3};
+
+    fn sample(tag: f64) -> ParticleSystem {
+        let mut sys = ParticleSystem::new(
+            vec![Vec3::splat(0.25), Vec3::splat(0.75)],
+            vec![Vec3::ZERO; 2],
+            vec![1.0, 1.0],
+            vec![tag, tag],
+            0.1,
+            Periodicity::open(Aabb::unit()),
+        );
+        sys.time = tag;
+        sys
+    }
+
+    fn exercise_store(store: &mut dyn CheckpointStore) {
+        assert!(store.labels().is_empty());
+        let size = store.save("step-10", &sample(1.0)).unwrap();
+        assert!(size > 0);
+        store.save("step-20", &sample(2.0)).unwrap();
+        assert_eq!(store.labels(), vec!["step-10".to_string(), "step-20".to_string()]);
+        let back = store.restore("step-20").unwrap();
+        assert_eq!(back.time, 2.0);
+        let back = store.restore("step-10").unwrap();
+        assert_eq!(back.time, 1.0);
+        assert!(store.restore("missing").is_err());
+        store.invalidate("step-10");
+        assert!(store.restore("step-10").is_err());
+        store.invalidate_all();
+        assert!(store.labels().is_empty());
+    }
+
+    #[test]
+    fn memory_store_contract() {
+        exercise_store(&mut MemoryStore::new());
+    }
+
+    #[test]
+    fn disk_store_contract() {
+        let dir = std::env::temp_dir().join(format!("sphft-test-{}", std::process::id()));
+        let mut store = DiskStore::new(&dir).unwrap();
+        store.invalidate_all();
+        exercise_store(&mut store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_overwrites_atomically() {
+        let dir = std::env::temp_dir().join(format!("sphft-test2-{}", std::process::id()));
+        let mut store = DiskStore::new(&dir).unwrap();
+        store.save("ck", &sample(1.0)).unwrap();
+        store.save("ck", &sample(2.0)).unwrap();
+        assert_eq!(store.restore("ck").unwrap().time, 2.0);
+        assert_eq!(store.labels().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_sanitises_labels() {
+        let dir = std::env::temp_dir().join(format!("sphft-test3-{}", std::process::id()));
+        let mut store = DiskStore::new(&dir).unwrap();
+        store.save("weird/label name", &sample(1.0)).unwrap();
+        assert_eq!(store.restore("weird/label name").unwrap().time, 1.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,95 @@
+//! Optimal checkpoint interval (Young 1974; Daly 2006) — the "Optimal
+//! interval" requirement of Table 4, after the paper's refs [15, 20, 21].
+//!
+//! For checkpoint cost `C`, recovery cost `R` and machine MTBF `M`, the
+//! wall-clock waste of checkpointing every `w` seconds of useful work is
+//! minimised near `w* = √(2 C M)` (Young), with Daly's higher-order
+//! refinement `w* = √(2CM)·[1 + ⅓√(C/2M) + (C/2M)/9] − C` for `C < 2M`.
+
+/// Young's first-order optimal interval `√(2 C M)`.
+pub fn young_interval(checkpoint_cost: f64, mtbf: f64) -> f64 {
+    assert!(checkpoint_cost > 0.0 && mtbf > 0.0);
+    (2.0 * checkpoint_cost * mtbf).sqrt()
+}
+
+/// Daly's refined optimal interval.
+pub fn daly_interval(checkpoint_cost: f64, mtbf: f64) -> f64 {
+    assert!(checkpoint_cost > 0.0 && mtbf > 0.0);
+    let c = checkpoint_cost;
+    let m = mtbf;
+    if c >= 2.0 * m {
+        // Degenerate regime: checkpointing costs more than the MTBF —
+        // checkpoint every MTBF.
+        return m;
+    }
+    let x = (c / (2.0 * m)).sqrt();
+    (2.0 * c * m).sqrt() * (1.0 + x / 3.0 + x * x / 9.0) - c
+}
+
+/// Expected fraction of wall-clock time wasted (checkpoint overhead +
+/// expected rework + recovery) when checkpointing every `w` seconds of
+/// work, under exponential failures with MTBF `M` (first-order model).
+pub fn expected_waste(w: f64, checkpoint_cost: f64, recovery_cost: f64, mtbf: f64) -> f64 {
+    assert!(w > 0.0 && checkpoint_cost >= 0.0 && recovery_cost >= 0.0 && mtbf > 0.0);
+    // Per period of useful work w: overhead C, failure probability
+    // (w + C)/M, expected rework w/2 + recovery R.
+    let period = w + checkpoint_cost;
+    let p_fail = (period / mtbf).min(1.0);
+    let waste = checkpoint_cost + p_fail * (w / 2.0 + recovery_cost);
+    waste / (w + waste)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_formula() {
+        // C = 50 s, M = 10000 s ⇒ w* = √(2·50·10⁴) = 1000 s.
+        assert!((young_interval(50.0, 10_000.0) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daly_close_to_young_for_small_c_over_m() {
+        let (c, m) = (10.0, 1_000_000.0);
+        let y = young_interval(c, m);
+        let d = daly_interval(c, m);
+        assert!((d - y).abs() / y < 0.01, "young {y}, daly {d}");
+    }
+
+    #[test]
+    fn daly_degenerate_regime() {
+        // C ≥ 2M: interval collapses to the MTBF.
+        assert_eq!(daly_interval(100.0, 40.0), 40.0);
+    }
+
+    #[test]
+    fn optimal_interval_minimises_waste() {
+        let (c, r, m) = (30.0, 60.0, 20_000.0);
+        let w_opt = daly_interval(c, m);
+        let waste_opt = expected_waste(w_opt, c, r, m);
+        // The optimum must beat 4× shorter and 4× longer intervals.
+        let waste_short = expected_waste(w_opt / 4.0, c, r, m);
+        let waste_long = expected_waste(w_opt * 4.0, c, r, m);
+        assert!(waste_opt < waste_short, "{waste_opt} !< {waste_short}");
+        assert!(waste_opt < waste_long, "{waste_opt} !< {waste_long}");
+    }
+
+    #[test]
+    fn waste_increases_with_failure_rate() {
+        let w = 500.0;
+        let low = expected_waste(w, 30.0, 60.0, 100_000.0);
+        let high = expected_waste(w, 30.0, 60.0, 5_000.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn waste_is_a_fraction() {
+        for &(w, c, r, m) in
+            &[(100.0, 10.0, 10.0, 1e4), (1e4, 100.0, 500.0, 1e3), (1.0, 0.1, 0.1, 1e6)]
+        {
+            let f = expected_waste(w, c, r, m);
+            assert!((0.0..1.0).contains(&f), "waste {f}");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Fault-tolerance substrate.
+//!
+//! Table 4 prescribes for the mini-app: "Checkpoint-Restart: Optimal
+//! interval, Multilevel" and "Error Detection: Silent data corruption
+//! detectors"; §4 adds selective replication and ABFT. All of it is here:
+//!
+//! * [`codec`] — versioned, checksummed binary serialisation of the
+//!   particle state (no external dependencies);
+//! * [`checkpoint`] — in-memory and on-disk checkpoint stores with
+//!   integrity verification on restore;
+//! * [`daly`] — the Young/Daly optimal checkpoint interval and the
+//!   expected-waste model it minimises;
+//! * [`multilevel`] — multi-level checkpointing (node-local / partner /
+//!   parallel-file-system) with a failure-level simulator, after Di et
+//!   al. / Benoit et al. (paper refs [7, 20]);
+//! * [`sdc`] — silent-data-corruption injection and three detectors
+//!   (checksum, physics bounds, conservation drift) plus an ABFT-style
+//!   redundant reduction;
+//! * [`replication`] — selective (sampled) duplicate evaluation.
+
+pub mod checkpoint;
+pub mod codec;
+pub mod daly;
+pub mod multilevel;
+pub mod replication;
+pub mod scheduler;
+pub mod sdc;
+
+pub use checkpoint::{CheckpointStore, DiskStore, MemoryStore};
+pub use daly::{daly_interval, expected_waste};
+pub use multilevel::{simulate_run, CheckpointLevel, FailureInjector, MultilevelConfig, RunOutcome};
+pub use scheduler::CheckpointScheduler;
+pub use sdc::{ChecksumDetector, SdcDetector, SdcInjector};

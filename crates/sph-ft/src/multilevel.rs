@@ -1,0 +1,320 @@
+//! Multilevel checkpointing with failure-injection simulation — the
+//! "Multilevel" requirement of Table 4, after the paper's refs [7, 20]
+//! (optimal resilience patterns / two-level checkpoint models).
+//!
+//! Three tiers, ordered by cost and coverage:
+//!
+//! | level | medium (model)        | cost | survives                    |
+//! |-------|-----------------------|------|-----------------------------|
+//! | L1    | node-local memory/NVMe| low  | transient process failures  |
+//! | L2    | partner-node copy     | mid  | single-node failures        |
+//! | L3    | parallel file system  | high | anything                    |
+//!
+//! A failure of *severity* `s` destroys all checkpoints of level < `s`;
+//! recovery rolls back to the newest surviving checkpoint. The simulator
+//! plays a work trace against exponentially-distributed failures and
+//! reports the total wall-clock, so single- vs multi-level strategies can
+//! be compared quantitatively (the `sph-bench` ablation does exactly
+//! that).
+
+use sph_math::SplitMix64;
+
+/// One checkpoint tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointLevel {
+    /// Tier index (1 = cheapest, shallowest).
+    pub level: u8,
+    /// Seconds to write a checkpoint at this tier.
+    pub write_cost: f64,
+    /// Seconds to restore from this tier.
+    pub restore_cost: f64,
+    /// Steps between checkpoints at this tier.
+    pub interval_steps: u64,
+}
+
+/// Multilevel configuration: levels must be sorted by `level`.
+#[derive(Debug, Clone)]
+pub struct MultilevelConfig {
+    pub levels: Vec<CheckpointLevel>,
+}
+
+impl MultilevelConfig {
+    /// A typical 3-tier setup for a step taking `step_time` seconds.
+    pub fn three_tier(step_time: f64) -> Self {
+        MultilevelConfig {
+            levels: vec![
+                CheckpointLevel { level: 1, write_cost: 0.1 * step_time, restore_cost: 0.1 * step_time, interval_steps: 5 },
+                CheckpointLevel { level: 2, write_cost: 0.5 * step_time, restore_cost: 0.6 * step_time, interval_steps: 25 },
+                CheckpointLevel { level: 3, write_cost: 4.0 * step_time, restore_cost: 5.0 * step_time, interval_steps: 100 },
+            ],
+        }
+    }
+
+    /// Single-level (PFS only) baseline.
+    pub fn single_level(step_time: f64, interval_steps: u64) -> Self {
+        MultilevelConfig {
+            levels: vec![CheckpointLevel {
+                level: 3,
+                write_cost: 4.0 * step_time,
+                restore_cost: 5.0 * step_time,
+                interval_steps,
+            }],
+        }
+    }
+
+    fn validate(&self) {
+        assert!(!self.levels.is_empty());
+        for w in self.levels.windows(2) {
+            assert!(w[0].level < w[1].level, "levels must be sorted and unique");
+        }
+        for l in &self.levels {
+            assert!(l.interval_steps > 0 && l.write_cost >= 0.0 && l.restore_cost >= 0.0);
+        }
+    }
+}
+
+/// Exponentially-distributed failure injector. Severity distribution:
+/// most failures are transient (severity 1), some kill a node (2), few
+/// take out shared storage paths (3) — following the field studies the
+/// paper cites ([11, 12, 43]).
+#[derive(Debug, Clone)]
+pub struct FailureInjector {
+    rng: SplitMix64,
+    /// Mean seconds between failures.
+    pub mtbf: f64,
+    /// Probability that a failure has severity ≥ 2 / ≥ 3.
+    pub p_node: f64,
+    pub p_storage: f64,
+    next_failure_at: f64,
+}
+
+impl FailureInjector {
+    pub fn new(mtbf: f64, p_node: f64, p_storage: f64, seed: u64) -> Self {
+        assert!(mtbf > 0.0 && (0.0..=1.0).contains(&p_node) && (0.0..=1.0).contains(&p_storage));
+        assert!(p_storage <= p_node, "severity classes must nest");
+        let mut rng = SplitMix64::new(SplitMix64::new(seed).derive("failure-injector"));
+        let first = rng.exponential(mtbf);
+        FailureInjector { rng, mtbf, p_node, p_storage, next_failure_at: first }
+    }
+
+    /// Does a failure strike before `t_end` (wall-clock)? Returns the
+    /// failure time and severity, advancing the schedule.
+    pub fn failure_before(&mut self, t_end: f64) -> Option<(f64, u8)> {
+        if self.next_failure_at >= t_end {
+            return None;
+        }
+        let t = self.next_failure_at;
+        let u = self.rng.next_f64();
+        let severity = if u < self.p_storage {
+            3
+        } else if u < self.p_node {
+            2
+        } else {
+            1
+        };
+        self.next_failure_at = t + self.rng.exponential(self.mtbf);
+        Some((t, severity))
+    }
+}
+
+/// Result of a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// Total wall-clock seconds including checkpoints, failures, rework.
+    pub wall_clock: f64,
+    /// Pure compute seconds (steps × step_time) — the lower bound.
+    pub useful: f64,
+    /// Failures endured.
+    pub failures: u32,
+    /// Checkpoints written, per level index (parallel to config.levels).
+    pub checkpoints_written: [u32; 3],
+    /// Steps re-executed after rollbacks.
+    pub steps_reworked: u64,
+}
+
+impl RunOutcome {
+    /// Overhead factor: wall-clock / useful (1.0 = free fault tolerance).
+    pub fn overhead(&self) -> f64 {
+        self.wall_clock / self.useful
+    }
+}
+
+/// Simulate `total_steps` steps of `step_time` seconds each under the
+/// given checkpoint strategy and failure process.
+///
+/// Semantics: after each step, any tier whose interval divides the step
+/// index writes a checkpoint (cheapest first). A failure of severity `s`
+/// invalidates all checkpoints of level < `s`; the run rolls back to the
+/// newest surviving checkpoint (or step 0) and pays its restore cost.
+pub fn simulate_run(
+    config: &MultilevelConfig,
+    injector: &mut FailureInjector,
+    total_steps: u64,
+    step_time: f64,
+) -> RunOutcome {
+    config.validate();
+    assert!(total_steps > 0 && step_time > 0.0);
+    let mut clock = 0.0_f64;
+    let mut step: u64 = 0;
+    // Newest checkpointed step per level (None = only step 0 / nothing).
+    let mut newest: Vec<Option<u64>> = vec![None; config.levels.len()];
+    let mut written = [0u32; 3];
+    let mut failures = 0u32;
+    let mut reworked = 0u64;
+
+    while step < total_steps {
+        // Attempt one step.
+        let t_end = clock + step_time;
+        if let Some((t_fail, severity)) = injector.failure_before(t_end) {
+            failures += 1;
+            clock = t_fail;
+            // Destroy shallow checkpoints.
+            for (k, l) in config.levels.iter().enumerate() {
+                if l.level < severity {
+                    newest[k] = None;
+                }
+            }
+            // Recover from the newest survivor.
+            let mut best: Option<(u64, usize)> = None;
+            for (k, n) in newest.iter().enumerate() {
+                if let Some(s) = n {
+                    if best.is_none() || *s > best.unwrap().0 {
+                        best = Some((*s, k));
+                    }
+                }
+            }
+            match best {
+                Some((s, k)) => {
+                    clock += config.levels[k].restore_cost;
+                    reworked += step - s;
+                    step = s;
+                }
+                None => {
+                    // Back to the beginning.
+                    reworked += step;
+                    step = 0;
+                }
+            }
+            continue;
+        }
+        clock = t_end;
+        step += 1;
+        // Write due checkpoints (a real system coalesces; costs add).
+        for (k, l) in config.levels.iter().enumerate() {
+            if step.is_multiple_of(l.interval_steps) {
+                clock += l.write_cost;
+                newest[k] = Some(step);
+                written[k.min(2)] += 1;
+            }
+        }
+    }
+    RunOutcome {
+        wall_clock: clock,
+        useful: total_steps as f64 * step_time,
+        failures,
+        checkpoints_written: written,
+        steps_reworked: reworked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_free_run_costs_only_checkpoints() {
+        let cfg = MultilevelConfig::three_tier(1.0);
+        // MTBF far beyond the run: no failures.
+        let mut inj = FailureInjector::new(1e12, 0.2, 0.02, 1);
+        let out = simulate_run(&cfg, &mut inj, 100, 1.0);
+        assert_eq!(out.failures, 0);
+        assert_eq!(out.steps_reworked, 0);
+        // 20 L1 writes ×0.1 + 4 L2 ×0.5 + 1 L3 ×4.0 = 2 + 2 + 4 = 8.
+        assert!((out.wall_clock - 108.0).abs() < 1e-9, "wall {}", out.wall_clock);
+        assert_eq!(out.checkpoints_written, [20, 4, 1]);
+    }
+
+    #[test]
+    fn failures_cause_rework() {
+        let cfg = MultilevelConfig::three_tier(1.0);
+        let mut inj = FailureInjector::new(50.0, 0.2, 0.02, 2);
+        let out = simulate_run(&cfg, &mut inj, 200, 1.0);
+        assert!(out.failures > 0);
+        assert!(out.steps_reworked > 0);
+        assert!(out.overhead() > 1.0);
+    }
+
+    #[test]
+    fn multilevel_beats_single_level_under_frequent_transients() {
+        // Mostly transient failures: L1 absorbs them cheaply, while the
+        // single-level PFS strategy pays long rollbacks.
+        let steps = 2000u64;
+        let multi = MultilevelConfig::three_tier(1.0);
+        let single = MultilevelConfig::single_level(1.0, 100);
+        let mut results = Vec::new();
+        for (cfg, tag) in [(&multi, "multi"), (&single, "single")] {
+            let mut total = 0.0;
+            for seed in 0..5 {
+                let mut inj = FailureInjector::new(120.0, 0.1, 0.01, seed);
+                total += simulate_run(cfg, &mut inj, steps, 1.0).wall_clock;
+            }
+            results.push((tag, total / 5.0));
+        }
+        let (_, multi_t) = results[0];
+        let (_, single_t) = results[1];
+        assert!(
+            multi_t < single_t * 0.9,
+            "multilevel {multi_t} should clearly beat single-level {single_t}"
+        );
+    }
+
+    #[test]
+    fn severe_failures_fall_through_to_deep_levels() {
+        // Only storage-severity failures: L1/L2 are always wiped, so
+        // recovery must come from L3 (or restart).
+        let cfg = MultilevelConfig::three_tier(1.0);
+        let mut inj = FailureInjector::new(300.0, 1.0, 1.0, 3); // all severity 3
+        let out = simulate_run(&cfg, &mut inj, 500, 1.0);
+        assert!(out.failures > 0);
+        // Rework per failure is bounded by the L3 interval (100 steps) plus
+        // the L1/L2 work since — but never by the whole run.
+        assert!(out.steps_reworked as f64 / out.failures as f64 <= 110.0);
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let mut a = FailureInjector::new(100.0, 0.3, 0.05, 7);
+        let mut b = FailureInjector::new(100.0, 0.3, 0.05, 7);
+        for _ in 0..10 {
+            assert_eq!(a.failure_before(1e9), b.failure_before(1e9));
+        }
+    }
+
+    #[test]
+    fn severity_classes_nest() {
+        let mut inj = FailureInjector::new(1.0, 0.5, 0.1, 9);
+        let mut counts = [0u32; 4];
+        for _ in 0..2000 {
+            if let Some((_, s)) = inj.failure_before(f64::INFINITY) {
+                counts[s as usize] += 1;
+            }
+        }
+        // Transients most common, storage failures rarest.
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[3]);
+        assert!(counts[3] > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn misordered_levels_rejected() {
+        let cfg = MultilevelConfig {
+            levels: vec![
+                CheckpointLevel { level: 2, write_cost: 1.0, restore_cost: 1.0, interval_steps: 10 },
+                CheckpointLevel { level: 1, write_cost: 1.0, restore_cost: 1.0, interval_steps: 5 },
+            ],
+        };
+        let mut inj = FailureInjector::new(100.0, 0.1, 0.01, 1);
+        let _ = simulate_run(&cfg, &mut inj, 10, 1.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Selective replication — §5.2: "fault-tolerance is currently being
+//! addressed via the combination of **selective replication**,
+//! algorithm-based fault-tolerance (ABFT) techniques, and optimal
+//! checkpointing".
+//!
+//! Full duplex replication doubles the machine; *selective* replication
+//! re-executes only a sampled subset of the work on different workers and
+//! compares. Detection probability for a corruption affecting a fraction
+//! `f` of particles, sampling a fraction `s`, is `1 − (1−f)^{sN}` — high
+//! even for small samples on large N, which is the scheme's point.
+
+use sph_math::{SplitMix64, Vec3};
+
+/// Outcome of a replicated check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicationVerdict {
+    /// All sampled recomputations agreed.
+    Consistent,
+    /// Some sampled particle disagreed beyond tolerance.
+    Mismatch { particle: u32, relative_error: f64 },
+}
+
+/// Selective replication checker: samples `sample_fraction` of the
+/// particles (deterministically per seed) and compares a recomputed
+/// quantity against the stored one.
+#[derive(Debug)]
+pub struct SelectiveReplication {
+    pub sample_fraction: f64,
+    pub rel_tolerance: f64,
+    seed: u64,
+}
+
+impl SelectiveReplication {
+    pub fn new(sample_fraction: f64, rel_tolerance: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&sample_fraction) && sample_fraction > 0.0);
+        assert!(rel_tolerance >= 0.0);
+        SelectiveReplication { sample_fraction, rel_tolerance, seed }
+    }
+
+    /// The deterministic sample of particle indices for a system of `n`.
+    pub fn sample_indices(&self, n: usize) -> Vec<u32> {
+        let mut rng = SplitMix64::new(SplitMix64::new(self.seed).derive("replication-sample"));
+        let count = ((n as f64 * self.sample_fraction).ceil() as usize).clamp(1, n);
+        // Partial Fisher–Yates over an index array.
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        for k in 0..count {
+            let j = k as u64 + rng.next_below((n - k) as u64);
+            idx.swap(k, j as usize);
+        }
+        idx.truncate(count);
+        idx.sort_unstable();
+        idx
+    }
+
+    /// Compare stored values against recomputation for the sampled subset.
+    ///
+    /// `stored` is the full per-particle array (e.g. accelerations);
+    /// `recompute` is called for each sampled index and must reproduce the
+    /// stored value if no corruption occurred.
+    pub fn verify_vec3(
+        &self,
+        stored: &[Vec3],
+        mut recompute: impl FnMut(u32) -> Vec3,
+    ) -> ReplicationVerdict {
+        for &i in &self.sample_indices(stored.len()) {
+            let fresh = recompute(i);
+            let old = stored[i as usize];
+            let scale = old.norm().max(fresh.norm()).max(1e-300);
+            let rel = (fresh - old).norm() / scale;
+            if rel > self.rel_tolerance {
+                return ReplicationVerdict::Mismatch { particle: i, relative_error: rel };
+            }
+        }
+        ReplicationVerdict::Consistent
+    }
+
+    /// Analytic detection probability for corruption touching a fraction
+    /// `f` of the particles.
+    pub fn detection_probability(&self, n: usize, corrupted_fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&corrupted_fraction));
+        let sampled = ((n as f64 * self.sample_fraction).ceil()).min(n as f64);
+        1.0 - (1.0 - corrupted_fraction).powf(sampled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_is_deterministic_and_sized() {
+        let r = SelectiveReplication::new(0.1, 1e-12, 3);
+        let a = r.sample_indices(1000);
+        let b = r.sample_indices(1000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        // No duplicates.
+        let mut c = a.clone();
+        c.dedup();
+        assert_eq!(c.len(), a.len());
+    }
+
+    #[test]
+    fn consistent_when_recomputation_matches() {
+        let stored: Vec<Vec3> = (0..500).map(|i| Vec3::splat(i as f64)).collect();
+        let r = SelectiveReplication::new(0.05, 1e-12, 1);
+        let v = r.verify_vec3(&stored, |i| Vec3::splat(i as f64));
+        assert_eq!(v, ReplicationVerdict::Consistent);
+    }
+
+    #[test]
+    fn detects_corruption_in_sampled_particle() {
+        let mut stored: Vec<Vec3> = (0..500).map(|i| Vec3::splat(i as f64 + 1.0)).collect();
+        let r = SelectiveReplication::new(0.1, 1e-9, 2);
+        // Corrupt exactly one *sampled* particle.
+        let victim = r.sample_indices(500)[0];
+        stored[victim as usize] += Vec3::X * 0.5;
+        match r.verify_vec3(&stored, |i| Vec3::splat(i as f64 + 1.0)) {
+            ReplicationVerdict::Mismatch { particle, relative_error } => {
+                assert_eq!(particle, victim);
+                assert!(relative_error > 1e-9);
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn misses_corruption_outside_the_sample() {
+        // The price of *selective* replication — also worth testing.
+        let mut stored: Vec<Vec3> = (0..500).map(|i| Vec3::splat(i as f64 + 1.0)).collect();
+        let r = SelectiveReplication::new(0.02, 1e-9, 4);
+        let sampled = r.sample_indices(500);
+        let victim = (0..500u32).find(|i| !sampled.contains(i)).unwrap();
+        stored[victim as usize] += Vec3::X;
+        assert_eq!(
+            r.verify_vec3(&stored, |i| Vec3::splat(i as f64 + 1.0)),
+            ReplicationVerdict::Consistent
+        );
+    }
+
+    #[test]
+    fn tolerance_forgives_roundoff() {
+        let stored: Vec<Vec3> = (0..100).map(|i| Vec3::splat(i as f64 + 1.0)).collect();
+        let r = SelectiveReplication::new(0.5, 1e-6, 5);
+        // Recomputation differs at the 1e-9 level — within tolerance.
+        let v = r.verify_vec3(&stored, |i| Vec3::splat((i as f64 + 1.0) * (1.0 + 1e-9)));
+        assert_eq!(v, ReplicationVerdict::Consistent);
+    }
+
+    #[test]
+    fn detection_probability_behaviour() {
+        let r = SelectiveReplication::new(0.01, 1e-12, 6);
+        // Widespread corruption is near-certain to be caught even at 1%.
+        let p_wide = r.detection_probability(100_000, 0.01);
+        assert!(p_wide > 0.9999, "p = {p_wide}");
+        // A single corrupted particle in 100k with a 1% sample: ~1%.
+        let p_single = r.detection_probability(100_000, 1.0 / 100_000.0);
+        assert!((p_single - 0.01).abs() < 0.002, "p = {p_single}");
+    }
+}

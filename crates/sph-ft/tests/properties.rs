@@ -1,0 +1,100 @@
+//! Property-based tests of the fault-tolerance substrate: the codec must
+//! round-trip any physical state and reject any corruption; the Daly
+//! interval must actually be optimal.
+
+use proptest::prelude::*;
+use sph_core::particles::ParticleSystem;
+use sph_ft::codec::{decode, encode};
+use sph_ft::daly::{daly_interval, expected_waste, young_interval};
+use sph_math::{Aabb, Periodicity, Vec3};
+
+fn physical_system() -> impl Strategy<Value = ParticleSystem> {
+    // 1–40 particles with physical (positive-mass, finite) state.
+    prop::collection::vec(
+        (
+            (0.0..1.0_f64, 0.0..1.0_f64, 0.0..1.0_f64),
+            (-10.0..10.0_f64, -10.0..10.0_f64, -10.0..10.0_f64),
+            0.001..10.0_f64, // mass
+            0.0..100.0_f64,  // u
+            0.001..1.0_f64,  // h
+        ),
+        1..40,
+    )
+    .prop_map(|rows| {
+        let n = rows.len();
+        let mut sys = ParticleSystem::new(
+            rows.iter().map(|r| Vec3::new(r.0 .0, r.0 .1, r.0 .2)).collect(),
+            rows.iter().map(|r| Vec3::new(r.1 .0, r.1 .1, r.1 .2)).collect(),
+            rows.iter().map(|r| r.2).collect(),
+            rows.iter().map(|r| r.3).collect(),
+            0.1,
+            Periodicity::periodic_z(Aabb::unit()),
+        );
+        sys.h = rows.iter().map(|r| r.4).collect();
+        sys.rho = vec![1.0; n];
+        sys.time = 3.25;
+        sys.step_count = 11;
+        sys
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn codec_roundtrips_any_physical_state(sys in physical_system()) {
+        let bytes = encode(&sys);
+        let back = decode(&bytes).expect("roundtrip");
+        prop_assert_eq!(back.x, sys.x);
+        prop_assert_eq!(back.v, sys.v);
+        prop_assert_eq!(back.m, sys.m);
+        prop_assert_eq!(back.h, sys.h);
+        prop_assert_eq!(back.u, sys.u);
+        prop_assert_eq!(back.time, sys.time);
+        prop_assert_eq!(back.step_count, sys.step_count);
+        prop_assert_eq!(back.periodicity, sys.periodicity);
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_rejected(sys in physical_system(), which in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let bytes = encode(&sys);
+        let k = which.index(bytes.len());
+        let mut corrupted = bytes.clone();
+        corrupted[k] ^= 1 << bit;
+        prop_assert!(decode(&corrupted).is_err(), "flip at byte {k} bit {bit} accepted");
+    }
+
+    #[test]
+    fn any_truncation_is_rejected(sys in physical_system(), frac in 0.0..0.999_f64) {
+        let bytes = encode(&sys);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assert!(decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn daly_interval_is_locally_optimal(c in 1.0..100.0_f64, m_factor in 10.0..1000.0_f64, r in 0.0..200.0_f64) {
+        let m = c * m_factor; // keep C < 2M
+        let w = daly_interval(c, m);
+        prop_assert!(w > 0.0);
+        let at = expected_waste(w, c, r, m);
+        // The optimum beats substantially shorter and longer intervals.
+        prop_assert!(at <= expected_waste(w * 3.0, c, r, m) + 1e-12);
+        prop_assert!(at <= expected_waste(w / 3.0, c, r, m) + 1e-12);
+    }
+
+    #[test]
+    fn daly_refines_young_downward_bounded(c in 0.1..50.0_f64, m in 1_000.0..1e6_f64) {
+        let y = young_interval(c, m);
+        let d = daly_interval(c, m);
+        // Daly subtracts C and adds small corrections; stays within 2× of
+        // Young in the sane regime.
+        prop_assert!(d > 0.0);
+        prop_assert!(d < 2.0 * y);
+    }
+
+    #[test]
+    fn waste_fraction_bounded(w in 1.0..1e5_f64, c in 0.0..100.0_f64, r in 0.0..1e3_f64, m in 10.0..1e6_f64) {
+        let f = expected_waste(w, c, r, m);
+        prop_assert!((0.0..1.0).contains(&f), "waste {f}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the kernel invariants every SPH formulation
+//! relies on.
+
+use proptest::prelude::*;
+use sph_kernels::{Kernel, KernelKind, SUPPORT_RADIUS};
+use sph_math::Vec3;
+
+fn any_kernel() -> impl Strategy<Value = KernelKind> {
+    prop_oneof![
+        Just(KernelKind::CubicSplineM4),
+        Just(KernelKind::WendlandC2),
+        Just(KernelKind::WendlandC4),
+        Just(KernelKind::WendlandC6),
+        (3u8..=10).prop_map(KernelKind::Sinc),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn kernel_nonnegative_and_compact(kind in any_kernel(), q in 0.0..4.0_f64) {
+        let k = kind.build();
+        let w = k.w_shape(q);
+        prop_assert!(w >= 0.0, "{}: w({q}) = {w}", k.name());
+        if q > SUPPORT_RADIUS {
+            prop_assert_eq!(w, 0.0);
+            prop_assert_eq!(k.dw_shape(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn kernel_monotone_decreasing(kind in any_kernel(), q in 0.0..1.9_f64, dq in 0.001..0.1_f64) {
+        let k = kind.build();
+        prop_assert!(
+            k.w_shape(q + dq) <= k.w_shape(q) + 1e-12,
+            "{} increases between {q} and {}",
+            k.name(),
+            q + dq
+        );
+    }
+
+    #[test]
+    fn kernel_derivative_nonpositive(kind in any_kernel(), q in 0.0..2.0_f64) {
+        let k = kind.build();
+        prop_assert!(k.dw_shape(q) <= 1e-12, "{}: dw({q}) = {}", k.name(), k.dw_shape(q));
+    }
+
+    #[test]
+    fn kernel_even_symmetry(kind in any_kernel(), q in 0.0..2.0_f64) {
+        let k = kind.build();
+        prop_assert_eq!(k.w_shape(q), k.w_shape(-q));
+        prop_assert_eq!(k.dw_shape(q), -k.dw_shape(-q));
+    }
+
+    #[test]
+    fn w_scales_as_h_cubed(kind in any_kernel(), r in 0.0..0.5_f64, h in (0.1..2.0_f64, 1.5..4.0_f64)) {
+        // W(λr, λh) = λ⁻³ W(r, h).
+        let k = kind.build();
+        let (h0, lambda) = h;
+        let w1 = k.w(r, h0);
+        let w2 = k.w(r * lambda, h0 * lambda);
+        if w1 > 1e-300 {
+            prop_assert!((w2 * lambda.powi(3) / w1 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn grad_antisymmetric_under_pair_exchange(
+        kind in any_kernel(),
+        d in (-0.15..0.15_f64, -0.15..0.15_f64, -0.15..0.15_f64),
+        h in 0.05..0.5_f64
+    ) {
+        // ∇_i W(r_ij) = −∇_i W(r_ji): the property pairwise momentum
+        // conservation rests on.
+        let k = kind.build();
+        let d = Vec3::new(d.0, d.1, d.2);
+        let g1 = k.grad_w(d, h);
+        let g2 = k.grad_w(-d, h);
+        prop_assert!((g1 + g2).norm() <= 1e-9 * (1.0 + g1.norm()));
+    }
+
+    #[test]
+    fn dw_dh_consistent_with_finite_difference(
+        kind in any_kernel(),
+        r in 0.01..0.9_f64,
+        h in 0.3..1.5_f64
+    ) {
+        let k = kind.build();
+        let eps = 1e-6;
+        let fd = (k.w(r, h + eps) - k.w(r, h - eps)) / (2.0 * eps);
+        let an = k.dw_dh(r, h);
+        prop_assert!(
+            (fd - an).abs() < 1e-3 * (1.0 + an.abs()),
+            "{}: r={r} h={h} fd={fd} an={an}",
+            k.name()
+        );
+    }
+
+    #[test]
+    fn central_value_dominates(kind in any_kernel(), q in 0.01..2.0_f64) {
+        let k = kind.build();
+        prop_assert!(k.w_shape(0.0) >= k.w_shape(q));
+    }
+}

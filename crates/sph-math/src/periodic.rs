@@ -1,0 +1,231 @@
+//! Per-axis periodic boundary handling.
+//!
+//! The paper's rotating square patch is the 2-D Colagrossi test extruded 100
+//! layers along z with **periodic boundary conditions in the z direction**
+//! (§5.1). The Evrard collapse is fully open. We therefore need a metric that
+//! is periodic on an arbitrary subset of axes: distances use the minimum
+//! image convention on periodic axes and plain Euclidean distance elsewhere.
+
+use crate::aabb::Aabb;
+use crate::vec3::Vec3;
+
+/// Which axes wrap, and over what box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Periodicity {
+    /// Domain over which periodic axes wrap.
+    pub domain: Aabb,
+    /// `periodic[axis]` is true when that axis wraps.
+    pub periodic: [bool; 3],
+}
+
+impl Periodicity {
+    /// No periodic axes; the domain is kept only for reference.
+    pub fn open(domain: Aabb) -> Self {
+        Periodicity { domain, periodic: [false; 3] }
+    }
+
+    /// All three axes periodic.
+    pub fn fully_periodic(domain: Aabb) -> Self {
+        Periodicity { domain, periodic: [true; 3] }
+    }
+
+    /// Periodic along z only — the square-patch configuration.
+    pub fn periodic_z(domain: Aabb) -> Self {
+        Periodicity { domain, periodic: [false, false, true] }
+    }
+
+    /// True if any axis is periodic.
+    pub fn any(&self) -> bool {
+        self.periodic.iter().any(|&p| p)
+    }
+
+    /// Length of the domain along `axis`.
+    #[inline]
+    fn span(&self, axis: usize) -> f64 {
+        self.domain.extent().component(axis)
+    }
+
+    /// Minimum-image displacement `a - b`.
+    ///
+    /// On periodic axes the component is folded into `(-L/2, L/2]`; on open
+    /// axes it is the plain difference.
+    #[inline]
+    pub fn displacement(&self, a: Vec3, b: Vec3) -> Vec3 {
+        let mut d = a - b;
+        for axis in 0..3 {
+            if self.periodic[axis] {
+                let span = self.span(axis);
+                if span > 0.0 {
+                    let c = d.component_mut(axis);
+                    // Fold into (-span/2, span/2].
+                    *c -= span * (*c / span).round();
+                }
+            }
+        }
+        d
+    }
+
+    /// Minimum-image distance.
+    #[inline]
+    pub fn distance(&self, a: Vec3, b: Vec3) -> f64 {
+        self.displacement(a, b).norm()
+    }
+
+    /// Minimum-image squared distance.
+    #[inline]
+    pub fn distance_sq(&self, a: Vec3, b: Vec3) -> f64 {
+        self.displacement(a, b).norm_sq()
+    }
+
+    /// Wrap a position back into the primary domain on periodic axes.
+    /// Open axes are untouched (particles may leave the reference box, as in
+    /// the free-surface square patch).
+    pub fn wrap(&self, mut p: Vec3) -> Vec3 {
+        for axis in 0..3 {
+            if self.periodic[axis] {
+                let lo = self.domain.lo.component(axis);
+                let span = self.span(axis);
+                if span > 0.0 {
+                    let c = p.component_mut(axis);
+                    let mut t = (*c - lo) % span;
+                    if t < 0.0 {
+                        t += span;
+                    }
+                    *c = lo + t;
+                }
+            }
+        }
+        p
+    }
+
+    /// The periodic images of `p` whose copies might interact with points in
+    /// the primary domain within radius `r` — i.e. the ghost images the halo
+    /// exchange must create. Returns offsets (including `Vec3::ZERO` first).
+    pub fn ghost_offsets(&self, p: Vec3, r: f64) -> Vec<Vec3> {
+        let mut offsets = vec![Vec3::ZERO];
+        for axis in 0..3 {
+            if !self.periodic[axis] {
+                continue;
+            }
+            let span = self.span(axis);
+            if span <= 0.0 {
+                continue;
+            }
+            let lo = self.domain.lo.component(axis);
+            let hi = self.domain.hi.component(axis);
+            let c = p.component(axis);
+            let mut axis_shift = 0.0;
+            if c - lo < r {
+                axis_shift = span; // near low face: image appears above hi
+            } else if hi - c < r {
+                axis_shift = -span; // near high face: image appears below lo
+            }
+            if axis_shift != 0.0 {
+                // Combine with every offset found so far so corner/edge
+                // images are produced for multi-axis periodicity.
+                let prev = offsets.clone();
+                for off in prev {
+                    let mut o = off;
+                    *o.component_mut(axis) += axis_shift;
+                    offsets.push(o);
+                }
+            }
+        }
+        offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn unit_z() -> Periodicity {
+        Periodicity::periodic_z(Aabb::unit())
+    }
+
+    #[test]
+    fn open_metric_is_euclidean() {
+        let p = Periodicity::open(Aabb::unit());
+        let a = Vec3::new(0.1, 0.1, 0.05);
+        let b = Vec3::new(0.1, 0.1, 0.95);
+        assert!(approx_eq(p.distance(a, b), 0.9, 1e-15));
+    }
+
+    #[test]
+    fn periodic_z_wraps_distance() {
+        let p = unit_z();
+        let a = Vec3::new(0.1, 0.1, 0.05);
+        let b = Vec3::new(0.1, 0.1, 0.95);
+        // Across the wrap the separation is 0.1, not 0.9.
+        assert!(approx_eq(p.distance(a, b), 0.1, 1e-12));
+        // x/y remain open.
+        let c = Vec3::new(0.95, 0.1, 0.05);
+        assert!(approx_eq(p.distance(a, c), 0.85, 1e-12));
+    }
+
+    #[test]
+    fn displacement_sign() {
+        let p = unit_z();
+        let a = Vec3::new(0.0, 0.0, 0.05);
+        let b = Vec3::new(0.0, 0.0, 0.95);
+        let d = p.displacement(a, b);
+        assert!(approx_eq(d.z, 0.1, 1e-12), "d.z = {}", d.z);
+        let d2 = p.displacement(b, a);
+        assert!(approx_eq(d2.z, -0.1, 1e-12));
+    }
+
+    #[test]
+    fn wrap_into_domain() {
+        let p = unit_z();
+        let w = p.wrap(Vec3::new(2.5, -0.5, 1.25));
+        // Only z is wrapped.
+        assert_eq!(w.x, 2.5);
+        assert_eq!(w.y, -0.5);
+        assert!(approx_eq(w.z, 0.25, 1e-12));
+        let w2 = p.wrap(Vec3::new(0.0, 0.0, -0.25));
+        assert!(approx_eq(w2.z, 0.75, 1e-12));
+    }
+
+    #[test]
+    fn wrap_is_idempotent() {
+        let p = Periodicity::fully_periodic(Aabb::unit());
+        let q = Vec3::new(3.7, -1.2, 0.4);
+        let once = p.wrap(q);
+        let twice = p.wrap(once);
+        assert!((once - twice).norm() < 1e-12);
+        assert!(p.domain.contains(once));
+    }
+
+    #[test]
+    fn ghost_offsets_near_face() {
+        let p = unit_z();
+        // Deep interior: only the identity offset.
+        assert_eq!(p.ghost_offsets(Vec3::splat(0.5), 0.1).len(), 1);
+        // Near the low z face: one image shifted by +1 in z.
+        let offs = p.ghost_offsets(Vec3::new(0.5, 0.5, 0.02), 0.1);
+        assert_eq!(offs.len(), 2);
+        assert!(approx_eq(offs[1].z, 1.0, 1e-15));
+        // Near the high z face: image shifted by -1.
+        let offs = p.ghost_offsets(Vec3::new(0.5, 0.5, 0.98), 0.1);
+        assert_eq!(offs.len(), 2);
+        assert!(approx_eq(offs[1].z, -1.0, 1e-15));
+    }
+
+    #[test]
+    fn ghost_offsets_corner_fully_periodic() {
+        let p = Periodicity::fully_periodic(Aabb::unit());
+        // Corner point near (0,0,0): 2^3 = 8 images including identity.
+        let offs = p.ghost_offsets(Vec3::splat(0.01), 0.05);
+        assert_eq!(offs.len(), 8);
+    }
+
+    #[test]
+    fn minimum_image_never_exceeds_half_span() {
+        let p = Periodicity::fully_periodic(Aabb::unit());
+        let a = Vec3::new(0.9, 0.9, 0.9);
+        let b = Vec3::new(0.1, 0.1, 0.1);
+        let d = p.displacement(a, b);
+        assert!(d.x.abs() <= 0.5 + 1e-12 && d.y.abs() <= 0.5 + 1e-12 && d.z.abs() <= 0.5 + 1e-12);
+    }
+}

@@ -1,0 +1,109 @@
+//! Compensated and pairwise summation.
+//!
+//! Conservation diagnostics (total energy, momentum, angular momentum) and
+//! the SDC "conservation drift" detector in `sph-ft` compare sums over up to
+//! 10⁶ particles across time-steps; naive summation noise would mask the
+//! signal, so reductions that feed diagnostics use Kahan or pairwise
+//! summation.
+
+/// Kahan–Babuška compensated accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KahanAccumulator {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanAccumulator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one term.
+    #[inline]
+    pub fn add(&mut self, value: f64) {
+        let y = value - self.compensation;
+        let t = self.sum + y;
+        self.compensation = (t - self.sum) - y;
+        self.sum = t;
+    }
+
+    /// Current compensated total.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.sum
+    }
+
+    /// Merge another accumulator (used by parallel reductions).
+    pub fn merge(&mut self, other: &KahanAccumulator) {
+        self.add(other.sum);
+        self.add(-other.compensation);
+    }
+}
+
+/// Kahan-compensated sum of a slice.
+pub fn kahan_sum(values: &[f64]) -> f64 {
+    let mut acc = KahanAccumulator::new();
+    for &v in values {
+        acc.add(v);
+    }
+    acc.total()
+}
+
+/// Recursive pairwise sum; O(log n) error growth, cache friendly.
+pub fn pairwise_sum(values: &[f64]) -> f64 {
+    const BASE: usize = 64;
+    if values.len() <= BASE {
+        return values.iter().sum();
+    }
+    let mid = values.len() / 2;
+    pairwise_sum(&values[..mid]) + pairwise_sum(&values[mid..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(kahan_sum(&[]), 0.0);
+        assert_eq!(pairwise_sum(&[]), 0.0);
+        assert_eq!(kahan_sum(&[42.0]), 42.0);
+        assert_eq!(pairwise_sum(&[42.0]), 42.0);
+    }
+
+    #[test]
+    fn kahan_beats_naive_on_cancellation() {
+        // 1 + many tiny values that naive summation drops entirely.
+        let mut values = vec![1.0_f64];
+        values.extend(std::iter::repeat(1e-16).take(100_000));
+        let naive: f64 = values.iter().sum();
+        let kahan = kahan_sum(&values);
+        let exact = 1.0 + 1e-16 * 100_000.0;
+        assert!((kahan - exact).abs() < (naive - exact).abs() || naive == exact);
+        assert!((kahan - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_matches_exact_on_integers() {
+        let values: Vec<f64> = (1..=10_000).map(|i| i as f64).collect();
+        let exact = 10_000.0 * 10_001.0 / 2.0;
+        assert_eq!(pairwise_sum(&values), exact);
+        assert_eq!(kahan_sum(&values), exact);
+    }
+
+    #[test]
+    fn merge_is_associative_enough() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        let total = kahan_sum(&values);
+        let mut a = KahanAccumulator::new();
+        let mut b = KahanAccumulator::new();
+        for &v in &values[..500] {
+            a.add(v);
+        }
+        for &v in &values[500..] {
+            b.add(v);
+        }
+        a.merge(&b);
+        assert!((a.total() - total).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,147 @@
+//! ASCII Gantt rendering of a [`Trace`] — the Fig. 4 analogue.
+//!
+//! Fig. 4 of the paper is a Paraver timeline: one row per worker, colour
+//! per state, with the phase letters A–J annotated above. This renderer
+//! produces the same picture in text: the phase letter where the worker is
+//! doing useful work, `~` for communication, `+` for synchronisation and
+//! `.` for idle — so the serial tree build (a lone row of `A` with
+//! everyone else idle) and the idle tails the paper highlights are
+//! directly visible in a terminal.
+
+use crate::phase::WorkerState;
+use crate::trace::Trace;
+
+/// Render the trace as rows of `width` characters spanning `[0, makespan]`.
+///
+/// Each cell shows the state occupying the majority of its time bucket.
+/// Returns a multi-line string including a time axis and a legend.
+pub fn render_gantt(trace: &Trace, width: usize) -> String {
+    assert!(width >= 10, "gantt width too small");
+    let makespan = trace.makespan();
+    let mut out = String::new();
+    if makespan <= 0.0 {
+        out.push_str("(empty trace)\n");
+        return out;
+    }
+    let dt = makespan / width as f64;
+
+    // Time axis header.
+    out.push_str(&format!(
+        "time → 0 {:…^width$} {:.4}s\n",
+        "",
+        makespan,
+        width = width.saturating_sub(12)
+    ));
+
+    for w in 0..trace.n_workers() {
+        let mut row = String::with_capacity(width + 16);
+        row.push_str(&format!("w{w:03} |"));
+        for b in 0..width {
+            let t0 = b as f64 * dt;
+            let t1 = t0 + dt;
+            // Majority state/phase in the bucket.
+            let mut best_char = ' ';
+            let mut best_overlap = 0.0;
+            for s in trace.spans(w) {
+                let overlap = (s.end.min(t1) - s.start.max(t0)).max(0.0);
+                if overlap > best_overlap {
+                    best_overlap = overlap;
+                    best_char = match s.state {
+                        WorkerState::Useful => s.phase.letter(),
+                        other => other.glyph(),
+                    };
+                }
+            }
+            row.push(best_char);
+        }
+        row.push('|');
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out.push_str(
+        "legend: A-J useful phases (A tree, B-D neighbors, E-H SPH, I gravity, J update); \
+         ~ comm, + sync, . idle\n",
+    );
+    out
+}
+
+/// One-line textual summary of where the time goes, phase by phase.
+pub fn phase_summary(trace: &Trace) -> String {
+    let total = trace.total_useful().max(1e-300);
+    let mut out = String::from("phase breakdown (useful time): ");
+    for (p, t) in trace.phase_breakdown() {
+        if t > 0.0 {
+            out.push_str(&format!("{}:{:.1}% ", p.letter(), t / total * 100.0));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::{Phase, WorkerState};
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(3);
+        // Worker 0 does a serial tree build while the others idle — the
+        // Fig. 4 pathology.
+        t.append(0, Phase::TreeBuild, WorkerState::Useful, 2.0);
+        t.append(1, Phase::TreeBuild, WorkerState::Idle, 2.0);
+        t.append(2, Phase::TreeBuild, WorkerState::Idle, 2.0);
+        for w in 0..3 {
+            t.append(w, Phase::Density, WorkerState::Useful, 4.0);
+            t.append(w, Phase::NeighborLists, WorkerState::Communication, 1.0);
+        }
+        t.close_step(Phase::Update);
+        t
+    }
+
+    #[test]
+    fn renders_expected_shape() {
+        let g = render_gantt(&sample_trace(), 70);
+        let lines: Vec<&str> = g.lines().collect();
+        // Header + 3 workers + legend.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("w000 |"));
+        // Worker 0 shows tree build 'A'; workers 1-2 show idle dots there.
+        assert!(lines[1].contains('A'));
+        assert!(lines[2].contains('.'));
+        // Everyone shows density 'E' and communication '~'.
+        for l in &lines[1..4] {
+            assert!(l.contains('E'), "{l}");
+            assert!(l.contains('~'), "{l}");
+        }
+    }
+
+    #[test]
+    fn row_width_is_respected() {
+        let g = render_gantt(&sample_trace(), 50);
+        for l in g.lines().filter(|l| l.starts_with('w')) {
+            // "w000 |" + 50 cells + "|"
+            assert_eq!(l.chars().count(), 6 + 50 + 1);
+        }
+    }
+
+    #[test]
+    fn empty_trace_renders_notice() {
+        let t = Trace::new(2);
+        let g = render_gantt(&t, 40);
+        assert!(g.contains("empty"));
+    }
+
+    #[test]
+    fn phase_summary_lists_phases() {
+        let s = phase_summary(&sample_trace());
+        assert!(s.contains("A:"), "{s}");
+        assert!(s.contains("E:"), "{s}");
+        // Idle/comm time must not appear as useful phases.
+        assert!(!s.contains("D:"), "{s}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_tiny_width() {
+        let _ = render_gantt(&sample_trace(), 4);
+    }
+}

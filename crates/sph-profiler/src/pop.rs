@@ -1,0 +1,147 @@
+//! POP efficiency metrics.
+//!
+//! §5.2 of the paper: "efficiencies can be calculated from these metrics
+//! to identify which characteristics of the code contribute to performance
+//! inefficiencies. Load Balance is computed as the ratio between average
+//! useful computation time (across all processes) and maximum useful
+//! computation time (also across all processes)." The hierarchy used by
+//! the POP Centre of Excellence (which audited the paper's data):
+//!
+//! ```text
+//! Load balance      LB  = mean(useful) / max(useful)
+//! Comm. efficiency  CE  = max(useful) / runtime
+//! Parallel eff.     PE  = LB · CE = mean(useful) / runtime
+//! Comp. scalability CS  = total_useful(reference) / total_useful(p)
+//! Global efficiency GE  = PE · CS
+//! ```
+
+use crate::trace::Trace;
+
+/// The POP efficiency hierarchy for one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopMetrics {
+    pub load_balance: f64,
+    pub communication_efficiency: f64,
+    pub parallel_efficiency: f64,
+    /// 1.0 when no reference run is supplied.
+    pub computation_scalability: f64,
+    pub global_efficiency: f64,
+    /// Mean useful time per worker (seconds).
+    pub mean_useful: f64,
+    /// Max useful time over workers (seconds).
+    pub max_useful: f64,
+    /// Modelled runtime (makespan, seconds).
+    pub runtime: f64,
+}
+
+/// Compute the POP metrics of a trace. `reference_total_useful` is the
+/// total useful time of the baseline (smallest-core-count) run; pass
+/// `None` for the baseline itself.
+pub fn pop_metrics(trace: &Trace, reference_total_useful: Option<f64>) -> PopMetrics {
+    let n = trace.n_workers();
+    let useful: Vec<f64> = (0..n).map(|w| trace.useful_time(w)).collect();
+    let max_useful = useful.iter().cloned().fold(0.0, f64::max);
+    let mean_useful = useful.iter().sum::<f64>() / n as f64;
+    let runtime = trace.makespan();
+    let load_balance = if max_useful > 0.0 { mean_useful / max_useful } else { f64::NAN };
+    let communication_efficiency = if runtime > 0.0 { max_useful / runtime } else { f64::NAN };
+    let parallel_efficiency = load_balance * communication_efficiency;
+    let total: f64 = useful.iter().sum();
+    let computation_scalability = match reference_total_useful {
+        Some(reference) if total > 0.0 => reference / total,
+        _ => 1.0,
+    };
+    PopMetrics {
+        load_balance,
+        communication_efficiency,
+        parallel_efficiency,
+        computation_scalability,
+        global_efficiency: parallel_efficiency * computation_scalability,
+        mean_useful,
+        max_useful,
+        runtime,
+    }
+}
+
+impl std::fmt::Display for PopMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LB {:5.1}%  CommE {:5.1}%  ParE {:5.1}%  CompScal {:5.1}%  GlobalE {:5.1}%",
+            self.load_balance * 100.0,
+            self.communication_efficiency * 100.0,
+            self.parallel_efficiency * 100.0,
+            self.computation_scalability * 100.0,
+            self.global_efficiency * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::{Phase, WorkerState};
+
+    fn trace_with_useful(times: &[f64]) -> Trace {
+        let mut t = Trace::new(times.len());
+        for (w, &d) in times.iter().enumerate() {
+            t.append(w, Phase::Density, WorkerState::Useful, d);
+        }
+        t.close_step(Phase::Update);
+        t
+    }
+
+    #[test]
+    fn perfectly_balanced_run() {
+        let t = trace_with_useful(&[2.0, 2.0, 2.0, 2.0]);
+        let m = pop_metrics(&t, None);
+        assert!((m.load_balance - 1.0).abs() < 1e-12);
+        assert!((m.communication_efficiency - 1.0).abs() < 1e-12);
+        assert!((m.global_efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_shows_in_lb_not_ce() {
+        // One straggler: LB = mean/max = (1+1+1+4)/4 / 4 = 0.4375.
+        let t = trace_with_useful(&[1.0, 1.0, 1.0, 4.0]);
+        let m = pop_metrics(&t, None);
+        assert!((m.load_balance - 0.4375).abs() < 1e-12, "LB = {}", m.load_balance);
+        // The straggler itself never waits, so CE stays 1.
+        assert!((m.communication_efficiency - 1.0).abs() < 1e-12);
+        assert!((m.parallel_efficiency - 0.4375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn communication_shows_in_ce_not_lb() {
+        // Balanced compute but everyone pays 1 s of communication.
+        let mut t = Trace::new(2);
+        for w in 0..2 {
+            t.append(w, Phase::Density, WorkerState::Useful, 3.0);
+            t.append(w, Phase::NeighborLists, WorkerState::Communication, 1.0);
+        }
+        let m = pop_metrics(&t, None);
+        assert!((m.load_balance - 1.0).abs() < 1e-12);
+        assert!((m.communication_efficiency - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn computation_scalability_vs_reference() {
+        // Strong scaling from 2 to 4 workers with 10% replicated work.
+        let base = trace_with_useful(&[4.0, 4.0]);
+        let scaled = trace_with_useful(&[2.2, 2.2, 2.2, 2.2]);
+        let base_m = pop_metrics(&base, None);
+        assert_eq!(base_m.computation_scalability, 1.0);
+        let ref_total = base.total_useful(); // 8.0
+        let m = pop_metrics(&scaled, Some(ref_total));
+        assert!((m.computation_scalability - 8.0 / 8.8).abs() < 1e-12);
+        assert!(m.global_efficiency < m.parallel_efficiency);
+    }
+
+    #[test]
+    fn display_renders_percentages() {
+        let t = trace_with_useful(&[1.0, 2.0]);
+        let s = format!("{}", pop_metrics(&t, None));
+        assert!(s.contains("LB"));
+        assert!(s.contains("GlobalE"));
+    }
+}

@@ -1,0 +1,209 @@
+//! The Evrard collapse (Evrard 1988), configured as §5.1 of the paper:
+//! initial density profile `ρ(r) = M/(2πR²r)` for `r ≤ R` with
+//! `R = M = 1`, initial specific internal energy `u₀ = 0.05`, ideal gas
+//! with `γ = 5/3`, gravitational constant `G = 1`. "With this
+//! configuration the gravitational energy is much larger than the internal
+//! energy and the system collapses naturally."
+//!
+//! Particles are equal-mass; positions come from a cubic lattice clipped
+//! to the unit ball and **radially stretched** by `r → R (r/R)^{3/2}`,
+//! which maps the uniform enclosed-mass profile `μ ∝ r³` onto the target
+//! `μ ∝ r²` exactly. An optional deterministic jitter breaks the lattice
+//! alignment.
+
+use sph_core::ParticleSystem;
+use sph_math::{Aabb, Periodicity, SplitMix64, Vec3};
+
+/// Evrard-collapse configuration; paper values are the defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct EvrardConfig {
+    /// Approximate particle count (the lattice clip makes it inexact;
+    /// the builder gets within a few percent).
+    pub n_target: usize,
+    /// Cloud radius R.
+    pub radius: f64,
+    /// Cloud mass M.
+    pub mass: f64,
+    /// Initial specific internal energy u₀.
+    pub u0: f64,
+    /// Lattice jitter amplitude in units of the lattice spacing.
+    pub jitter: f64,
+    /// Seed for the jitter.
+    pub seed: u64,
+}
+
+impl Default for EvrardConfig {
+    fn default() -> Self {
+        EvrardConfig { n_target: 10_000, radius: 1.0, mass: 1.0, u0: 0.05, jitter: 0.05, seed: 42 }
+    }
+}
+
+/// Analytic initial density `ρ(r) = M/(2πR²r)` (r ≤ R).
+pub fn evrard_density(r: f64, mass: f64, radius: f64) -> f64 {
+    assert!(r > 0.0);
+    if r <= radius {
+        mass / (2.0 * std::f64::consts::PI * radius * radius * r)
+    } else {
+        0.0
+    }
+}
+
+/// Exact gravitational energy of the 1/r sphere: `W = −2GM²/(3R)`.
+pub fn evrard_gravitational_energy(mass: f64, radius: f64, g: f64) -> f64 {
+    -2.0 * g * mass * mass / (3.0 * radius)
+}
+
+/// Build the Evrard initial conditions.
+pub fn evrard_collapse(cfg: &EvrardConfig) -> ParticleSystem {
+    assert!(cfg.n_target >= 100, "need at least ~100 particles for a sphere");
+    assert!(cfg.radius > 0.0 && cfg.mass > 0.0 && cfg.u0 >= 0.0);
+    // Lattice resolution: a cube of side 2R holds ~ (π/6)·n_lattice³ ball
+    // points; choose n so the clipped count approximates n_target.
+    let n_side = ((cfg.n_target as f64 * 6.0 / std::f64::consts::PI).cbrt()).round() as usize;
+    let n_side = n_side.max(4);
+    let spacing = 2.0 * cfg.radius / n_side as f64;
+    let mut rng = SplitMix64::new(SplitMix64::new(cfg.seed).derive("evrard-jitter"));
+
+    let mut x = Vec::with_capacity(cfg.n_target * 2);
+    for iz in 0..n_side {
+        for iy in 0..n_side {
+            for ix in 0..n_side {
+                let mut p = Vec3::new(
+                    -cfg.radius + (ix as f64 + 0.5) * spacing,
+                    -cfg.radius + (iy as f64 + 0.5) * spacing,
+                    -cfg.radius + (iz as f64 + 0.5) * spacing,
+                );
+                if cfg.jitter > 0.0 {
+                    p += Vec3::new(
+                        rng.uniform(-cfg.jitter, cfg.jitter),
+                        rng.uniform(-cfg.jitter, cfg.jitter),
+                        rng.uniform(-cfg.jitter, cfg.jitter),
+                    ) * spacing;
+                }
+                let r = p.norm();
+                if r > 0.0 && r <= cfg.radius {
+                    // Radial stretch: uniform μ=(r/R)³ → target μ=(r/R)²,
+                    // i.e. r_new = R (r/R)^{3/2}.
+                    let r_new = cfg.radius * (r / cfg.radius).powf(1.5);
+                    x.push(p * (r_new / r));
+                }
+            }
+        }
+    }
+    let n = x.len();
+    assert!(n > 0, "lattice produced no particles inside the sphere");
+    let m = cfg.mass / n as f64;
+    let domain = Aabb::cube(Vec3::ZERO, cfg.radius * 1.5);
+    ParticleSystem::new(
+        x,
+        vec![Vec3::ZERO; n],
+        vec![m; n],
+        vec![cfg.u0; n],
+        1.6 * spacing,
+        Periodicity::open(domain),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_is_near_target_and_mass_exact() {
+        let cfg = EvrardConfig { n_target: 5000, ..Default::default() };
+        let sys = evrard_collapse(&cfg);
+        let n = sys.len();
+        assert!(
+            (n as f64 - 5000.0).abs() < 0.25 * 5000.0,
+            "count {n} too far from target"
+        );
+        assert!((sys.total_mass() - cfg.mass).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_particles_inside_sphere_cold_and_static() {
+        let cfg = EvrardConfig::default();
+        let sys = evrard_collapse(&cfg);
+        for i in 0..sys.len() {
+            assert!(sys.x[i].norm() <= cfg.radius + 1e-12);
+            assert_eq!(sys.v[i], Vec3::ZERO);
+            assert_eq!(sys.u[i], cfg.u0);
+        }
+    }
+
+    #[test]
+    fn radial_mass_profile_matches_one_over_r() {
+        // Enclosed mass μ(r) = (r/R)² — the signature of ρ ∝ 1/r.
+        let cfg = EvrardConfig { n_target: 20_000, jitter: 0.0, ..Default::default() };
+        let sys = evrard_collapse(&cfg);
+        let mut radii: Vec<f64> = sys.x.iter().map(|p| p.norm()).collect();
+        radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = radii.len();
+        for frac in [0.25, 0.5, 0.75] {
+            let k = (frac * n as f64) as usize;
+            let r_k = radii[k];
+            // μ(r_k) = frac ⇒ r_k ≈ R √frac.
+            let expected = cfg.radius * frac.sqrt();
+            assert!(
+                (r_k - expected).abs() < 0.05 * expected,
+                "μ={frac}: r={r_k}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn shell_density_matches_analytic() {
+        let cfg = EvrardConfig { n_target: 30_000, jitter: 0.0, ..Default::default() };
+        let sys = evrard_collapse(&cfg);
+        // Count particles in shells and compare to ρ(r)·V_shell.
+        for &(r0, r1) in &[(0.2, 0.3), (0.4, 0.5), (0.6, 0.7)] {
+            let count = sys.x.iter().filter(|p| {
+                let r = p.norm();
+                r >= r0 && r < r1
+            }).count();
+            let shell_mass = count as f64 * sys.m[0];
+            // ∫ ρ 4πr² dr over the shell = M (r1²−r0²)/R².
+            let expected = cfg.mass * (r1 * r1 - r0 * r0) / (cfg.radius * cfg.radius);
+            assert!(
+                (shell_mass - expected).abs() < 0.1 * expected,
+                "shell [{r0},{r1}): mass {shell_mass} vs analytic {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn gravitational_energy_dominates_internal() {
+        // The condition §5.1 states makes the cloud collapse: |W| ≫ U.
+        let w = evrard_gravitational_energy(1.0, 1.0, 1.0);
+        assert!((w + 2.0 / 3.0).abs() < 1e-15);
+        let u_total = 0.05; // u₀ · M
+        assert!(w.abs() > 10.0 * u_total);
+    }
+
+    #[test]
+    fn analytic_density_integrates_to_total_mass() {
+        // 4π ∫₀ᴿ ρ r² dr = M.
+        let steps = 100_000;
+        let dr = 1.0 / steps as f64;
+        let mut total = 0.0;
+        for k in 0..steps {
+            let r = (k as f64 + 0.5) * dr;
+            total += evrard_density(r, 1.0, 1.0) * 4.0 * std::f64::consts::PI * r * r * dr;
+        }
+        assert!((total - 1.0).abs() < 1e-4, "∫ρ dV = {total}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = EvrardConfig { n_target: 2000, ..Default::default() };
+        let a = evrard_collapse(&cfg);
+        let b = evrard_collapse(&cfg);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.x[i], b.x[i]);
+        }
+        // Different seed ⇒ different jitter.
+        let c = evrard_collapse(&EvrardConfig { seed: 7, ..cfg });
+        assert!(a.x.iter().zip(&c.x).any(|(p, q)| p != q));
+    }
+}

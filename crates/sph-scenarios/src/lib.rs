@@ -1,0 +1,19 @@
+//! The two validation/acceptance test cases of the paper (Table 5, §5.1):
+//!
+//! | Test | Description | Domain | Length |
+//! |------|-------------|--------|--------|
+//! | Rotating square patch (Colagrossi 2005) | rotation of a free-surface square fluid patch | 3-D, 10⁶ particles | 20 steps |
+//! | Evrard collapse (Evrard 1988) | adiabatic collapse of a cold static gas sphere (with self-gravity) | 3-D, 10⁶ particles | 20 steps |
+//!
+//! Both builders are deterministic for a given seed and particle count and
+//! expose the analytic references the validation tests check against.
+
+pub mod evrard;
+pub mod registry;
+pub mod relaxation;
+pub mod square_patch;
+
+pub use evrard::{evrard_collapse, EvrardConfig};
+pub use registry::{scenario_table, ScenarioInfo};
+pub use relaxation::{relax_to_glass, RelaxationConfig, RelaxationReport};
+pub use square_patch::{square_patch, square_patch_pressure, SquarePatchConfig};

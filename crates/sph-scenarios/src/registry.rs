@@ -1,0 +1,59 @@
+//! The test-simulation registry — the data behind Table 5 of the paper.
+
+/// One row of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioInfo {
+    pub name: &'static str,
+    pub reference: &'static str,
+    pub description: &'static str,
+    pub domain: &'static str,
+    pub simulation_length: &'static str,
+    pub codes: &'static str,
+    pub platforms: &'static str,
+}
+
+/// The rows of Table 5, verbatim from the paper.
+pub fn scenario_table() -> Vec<ScenarioInfo> {
+    vec![
+        ScenarioInfo {
+            name: "Rotating Square Patch",
+            reference: "Colagrossi 2005",
+            description: "Rotation of a free-surface square fluid patch",
+            domain: "3D, 10^6 particles",
+            simulation_length: "20 time-steps",
+            codes: "SPHYNX, ChaNGa, SPH-flow",
+            platforms: "Piz Daint, MareNostrum 4",
+        },
+        ScenarioInfo {
+            name: "Evrard Collapse",
+            reference: "Evrard 1988",
+            description: "Adiabatic collapse of an initially cold and static gas sphere (w/ self-gravity)",
+            domain: "3D, 10^6 particles",
+            simulation_length: "20 time-steps",
+            codes: "SPHYNX, ChaNGa",
+            platforms: "Piz Daint, MareNostrum 4",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_both_tests() {
+        let t = scenario_table();
+        assert_eq!(t.len(), 2);
+        assert!(t[0].name.contains("Square"));
+        assert!(t[1].name.contains("Evrard"));
+    }
+
+    #[test]
+    fn evrard_excludes_sphflow() {
+        // §5.1: "As this test needs the evaluation of self-gravity, it was
+        // only performed by the astrophysical SPH codes."
+        let t = scenario_table();
+        assert!(!t[1].codes.contains("SPH-flow"));
+        assert!(t[0].codes.contains("SPH-flow"));
+    }
+}

@@ -1,0 +1,576 @@
+//! Barnes–Hut self-gravity with multipole expansions (Algorithm 1, step 4).
+//!
+//! Table 1: SPHYNX evaluates gravity with multipoles up to quadrupole
+//! ("4-pole"), ChaNGa up to hexadecapole ("16-pole"). This module
+//! implements monopole and quadrupole expansions exactly; the cost of the
+//! higher-order terms ChaNGa carries is represented in the performance
+//! model by a per-cell-interaction cost factor (see DESIGN.md §2 —
+//! substitution table), while force *accuracy* is verified here against
+//! direct summation.
+//!
+//! Conventions: `G` is configurable (the Evrard test uses `G = 1`),
+//! softening is Plummer (`φ = −Gm/√(r²+ε²)`), and the multipole acceptance
+//! criterion is the classic opening angle: a cell of size `L` at distance
+//! `d` from the target is accepted when `L/d < θ`.
+
+use crate::octree::Octree;
+use crate::TraversalStats;
+use rayon::prelude::*;
+use sph_math::{Mat3, SymTensor3, Vec3};
+
+/// Expansion order of accepted cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultipoleOrder {
+    /// Centre-of-mass only.
+    Monopole,
+    /// Monopole + traceless quadrupole (SPHYNX's "4-pole").
+    Quadrupole,
+    /// Monopole + quadrupole + octupole — one order further toward
+    /// ChaNGa's hexadecapole ("16-pole") expansion.
+    Octupole,
+}
+
+impl MultipoleOrder {
+    /// Numeric order (highest multipole term carried).
+    pub fn degree(self) -> u8 {
+        match self {
+            MultipoleOrder::Monopole => 1,
+            MultipoleOrder::Quadrupole => 2,
+            MultipoleOrder::Octupole => 3,
+        }
+    }
+}
+
+/// Gravity parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GravityConfig {
+    /// Gravitational constant.
+    pub g: f64,
+    /// Opening angle θ of the MAC; smaller = more accurate and slower.
+    pub theta: f64,
+    /// Plummer softening length ε.
+    pub softening: f64,
+    /// Expansion order.
+    pub order: MultipoleOrder,
+}
+
+impl Default for GravityConfig {
+    fn default() -> Self {
+        GravityConfig { g: 1.0, theta: 0.5, softening: 1e-4, order: MultipoleOrder::Quadrupole }
+    }
+}
+
+/// Multipole moments of one tree node, all about the node's `com`.
+#[derive(Debug, Clone, Copy, Default)]
+struct Moments {
+    mass: f64,
+    com: Vec3,
+    /// Raw second moment `M2_ab = Σ m d_a d_b` (the traceless quadrupole
+    /// is derived as `Q = 3·M2 − tr(M2)·I` at evaluation time).
+    m2: Mat3,
+    /// Raw third moment `S_abc = Σ m d_a d_b d_c`.
+    s3: SymTensor3,
+    /// Trace vector `t_a = Σ m d² d_a` (the octupole trace part).
+    t: Vec3,
+}
+
+/// Gravity solver bound to a built octree.
+pub struct GravitySolver<'a> {
+    tree: &'a Octree,
+    masses_sorted: Vec<f64>,
+    moments: Vec<Moments>,
+    config: GravityConfig,
+}
+
+/// Result of a field evaluation at one point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GravitySample {
+    pub accel: Vec3,
+    pub potential: f64,
+}
+
+impl<'a> GravitySolver<'a> {
+    /// Precompute moments for every node. `masses` is indexed by *original*
+    /// particle id (same indexing the octree was built from).
+    pub fn new(tree: &'a Octree, masses: &[f64], config: GravityConfig) -> Self {
+        assert_eq!(masses.len(), tree.len(), "masses/positions length mismatch");
+        assert!(config.theta > 0.0, "θ must be positive");
+        let masses_sorted: Vec<f64> =
+            tree.order().iter().map(|&i| masses[i as usize]).collect();
+
+        // Bottom-up moment computation via post-order accumulation with the
+        // parallel-axis shift — O(nodes) instead of O(N log N).
+        let nodes = tree.nodes();
+        let pos = tree.sorted_positions();
+        let mut moments = vec![Moments::default(); nodes.len()];
+        // Nodes are stored so children always come after parents; iterate
+        // in reverse to process children first.
+        for ni in (0..nodes.len()).rev() {
+            let node = &nodes[ni];
+            let mut mass = 0.0;
+            let mut weighted = Vec3::ZERO;
+            if node.is_leaf() {
+                for k in node.start..node.end {
+                    let m = masses_sorted[k as usize];
+                    mass += m;
+                    weighted += pos[k as usize] * m;
+                }
+            } else {
+                for &c in &node.children {
+                    if c != u32::MAX {
+                        mass += moments[c as usize].mass;
+                        weighted += moments[c as usize].com * moments[c as usize].mass;
+                    }
+                }
+            }
+            let com = if mass > 0.0 { weighted / mass } else { node.cell.center() };
+            let mut m2 = Mat3::ZERO;
+            let mut s3 = SymTensor3::ZERO;
+            let mut t = Vec3::ZERO;
+            if node.is_leaf() {
+                for k in node.start..node.end {
+                    let m = masses_sorted[k as usize];
+                    let d = pos[k as usize] - com;
+                    m2.add_scaled_outer(d, m);
+                    s3.add_scaled_cube(d, m);
+                    t += d * (m * d.norm_sq());
+                }
+            } else {
+                for &c in &node.children {
+                    if c == u32::MAX {
+                        continue;
+                    }
+                    let ch = &moments[c as usize];
+                    // Parallel-axis shifts to the parent COM (s = child
+                    // COM − parent COM; Σ m d = 0 about the child COM):
+                    //   M2' = M2 + m s⊗s
+                    //   S3' = S3 + sym(s ⊗ M2) + m s⊗s⊗s
+                    //   t'  = t + 2 M2·s + tr(M2)·s + m s² s
+                    let s = ch.com - com;
+                    m2 += ch.m2;
+                    m2.add_scaled_outer(s, ch.mass);
+                    s3 += ch.s3;
+                    s3.add_scaled_sym_outer(s, &ch.m2, 1.0);
+                    s3.add_scaled_cube(s, ch.mass);
+                    t += ch.t
+                        + ch.m2.mul_vec(s) * 2.0
+                        + s * ch.m2.trace()
+                        + s * (ch.mass * s.norm_sq());
+                }
+            }
+            moments[ni] = Moments { mass, com, m2, s3, t };
+        }
+        GravitySolver { tree, masses_sorted, moments, config }
+    }
+
+    /// Total mass seen by the solver (root monopole) — cheap invariant.
+    pub fn total_mass(&self) -> f64 {
+        self.moments[0].mass
+    }
+
+    /// Evaluate acceleration and potential at `point`, optionally skipping
+    /// the particle with original index `skip` (self-interaction).
+    pub fn field_at(
+        &self,
+        point: Vec3,
+        skip: Option<u32>,
+        stats: &mut TraversalStats,
+    ) -> GravitySample {
+        let g = self.config.g;
+        let eps2 = self.config.softening * self.config.softening;
+        let theta2 = self.config.theta * self.config.theta;
+        let nodes = self.tree.nodes();
+        let pos = self.tree.sorted_positions();
+        let order = self.tree.order();
+
+        let mut accel = Vec3::ZERO;
+        let mut potential = 0.0;
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(ni) = stack.pop() {
+            let node = &nodes[ni as usize];
+            stats.nodes_visited += 1;
+            let mom = &self.moments[ni as usize];
+            if mom.mass <= 0.0 {
+                continue;
+            }
+            let d = point - mom.com;
+            let dist2 = d.norm_sq();
+            let size = node.tight.max_extent();
+            // MAC: accept when (L/d)² < θ² and the point is safely outside
+            // the cell (dist² > 0 guards the degenerate self-cell case).
+            let accept = !node.is_leaf()
+                && dist2 > 0.0
+                && size * size < theta2 * dist2
+                && node.tight.dist_sq_to_point(point) > 0.0;
+            if accept {
+                stats.p2m_interactions += 1;
+                let r2 = dist2 + eps2;
+                let r = r2.sqrt();
+                let inv_r3 = 1.0 / (r2 * r);
+                // Monopole.
+                accel -= d * (g * mom.mass * inv_r3);
+                potential -= g * mom.mass / r;
+                if self.config.order.degree() >= 2 {
+                    // Traceless quadrupole from the raw second moment:
+                    // Q = 3·M2 − tr(M2)·I ⇒ Q·d = 3 M2·d − tr(M2) d.
+                    let tr_m2 = mom.m2.trace();
+                    let qd = mom.m2.mul_vec(d) * 3.0 - d * tr_m2;
+                    let dqd = d.dot(qd);
+                    let inv_r5 = inv_r3 / r2;
+                    let inv_r7 = inv_r5 / r2;
+                    // φ₂ = −G (d·Q·d) / (2 r⁵)
+                    // a₂ = G Q d / r⁵ − (5G/2)(d·Q·d) d / r⁷
+                    potential -= 0.5 * g * dqd * inv_r5;
+                    accel += qd * (g * inv_r5) - d * (2.5 * g * dqd * inv_r7);
+                    if self.config.order.degree() >= 3 {
+                        // Octupole (Cartesian Taylor term):
+                        // φ₃ = −G [5 S:ddd − 3 (t·d) r²] / (2 r⁷)
+                        // a₃ = G/2 [ (15 S:dd − 3 t r² − 6 (t·d) d)/r⁷
+                        //            − 7 (5 S:ddd − 3 (t·d) r²) d / r⁹ ]
+                        let s_dd = mom.s3.contract_twice(d);
+                        let s_ddd = s_dd.dot(d);
+                        let td = mom.t.dot(d);
+                        let inv_r9 = inv_r7 / r2;
+                        let poly = 5.0 * s_ddd - 3.0 * td * r2;
+                        potential -= 0.5 * g * poly * inv_r7;
+                        accel += (s_dd * 15.0 - mom.t * (3.0 * r2) - d * (6.0 * td))
+                            * (0.5 * g * inv_r7)
+                            - d * (3.5 * g * poly * inv_r9);
+                    }
+                }
+            } else if node.is_leaf() {
+                for k in node.start..node.end {
+                    let oi = order[k as usize];
+                    if skip == Some(oi) {
+                        continue;
+                    }
+                    stats.p2p_interactions += 1;
+                    let dj = point - pos[k as usize];
+                    let r2 = dj.norm_sq() + eps2;
+                    let r = r2.sqrt();
+                    let m = self.masses_sorted[k as usize];
+                    accel -= dj * (g * m / (r2 * r));
+                    potential -= g * m / r;
+                }
+            } else {
+                for &c in &node.children {
+                    if c != u32::MAX {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        GravitySample { accel, potential }
+    }
+
+    /// Accelerations and potentials at every particle position, in original
+    /// particle order, skipping self-interaction. Parallel over targets.
+    pub fn accelerations(&self, positions: &[Vec3]) -> (Vec<GravitySample>, TraversalStats) {
+        assert_eq!(positions.len(), self.tree.len());
+        let samples: Vec<(GravitySample, TraversalStats)> = positions
+            .par_iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let mut stats = TraversalStats::default();
+                let s = self.field_at(p, Some(i as u32), &mut stats);
+                (s, stats)
+            })
+            .collect();
+        let mut merged = TraversalStats::default();
+        let out = samples
+            .into_iter()
+            .map(|(s, st)| {
+                merged.merge(&st);
+                s
+            })
+            .collect();
+        (out, merged)
+    }
+}
+
+/// O(N²) direct-summation reference (validation only).
+pub fn direct_field(
+    positions: &[Vec3],
+    masses: &[f64],
+    target: Vec3,
+    skip: Option<usize>,
+    g: f64,
+    softening: f64,
+) -> GravitySample {
+    let eps2 = softening * softening;
+    let mut accel = Vec3::ZERO;
+    let mut potential = 0.0;
+    for (j, (&pj, &mj)) in positions.iter().zip(masses).enumerate() {
+        if skip == Some(j) {
+            continue;
+        }
+        let d = target - pj;
+        let r2 = d.norm_sq() + eps2;
+        let r = r2.sqrt();
+        accel -= d * (g * mj / (r2 * r));
+        potential -= g * mj / r;
+    }
+    GravitySample { accel, potential }
+}
+
+/// Total gravitational energy `½ Σ mᵢ φᵢ` from per-particle potentials.
+pub fn gravitational_energy(masses: &[f64], potentials: &[f64]) -> f64 {
+    assert_eq!(masses.len(), potentials.len());
+    0.5 * masses.iter().zip(potentials).map(|(&m, &p)| m * p).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::octree::{Octree, OctreeConfig};
+    use sph_math::{Aabb, SplitMix64};
+
+    fn random_system(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut rng = SplitMix64::new(seed);
+        let pos: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()))
+            .collect();
+        let masses: Vec<f64> = (0..n).map(|_| rng.uniform(0.5, 1.5) / n as f64).collect();
+        (pos, masses)
+    }
+
+    fn build_solver<'a>(
+        tree: &'a Octree,
+        masses: &[f64],
+        theta: f64,
+        order: MultipoleOrder,
+    ) -> GravitySolver<'a> {
+        GravitySolver::new(
+            tree,
+            masses,
+            GravityConfig { g: 1.0, theta, softening: 1e-3, order },
+        )
+    }
+
+    #[test]
+    fn total_mass_is_conserved_by_moments() {
+        let (pos, masses) = random_system(500, 2);
+        let tree = Octree::build(&pos, &Aabb::unit(), OctreeConfig::default());
+        let solver = build_solver(&tree, &masses, 0.5, MultipoleOrder::Quadrupole);
+        let exact: f64 = masses.iter().sum();
+        assert!((solver.total_mass() - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_body_inverse_square() {
+        // A single far-away source must give the Newtonian field.
+        let pos = vec![Vec3::splat(0.5)];
+        let masses = vec![2.0];
+        let tree = Octree::build(&pos, &Aabb::unit(), OctreeConfig::default());
+        let solver = build_solver(&tree, &masses, 0.5, MultipoleOrder::Monopole);
+        let target = Vec3::new(3.5, 0.5, 0.5); // distance 3 along x
+        let mut stats = TraversalStats::default();
+        let s = solver.field_at(target, None, &mut stats);
+        let expected_a = -2.0 / 9.0; // −GM/r²
+        assert!((s.accel.x - expected_a).abs() < 1e-5, "ax = {}", s.accel.x);
+        assert!(s.accel.y.abs() < 1e-12 && s.accel.z.abs() < 1e-12);
+        assert!((s.potential + 2.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn barnes_hut_matches_direct_sum() {
+        let (pos, masses) = random_system(800, 9);
+        let tree = Octree::build(
+            &pos,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 16, parallel_sort: false },
+        );
+        for (theta, order, tol) in [
+            (0.5, MultipoleOrder::Monopole, 3e-2),
+            (0.5, MultipoleOrder::Quadrupole, 6e-3),
+            (0.3, MultipoleOrder::Quadrupole, 2e-3),
+        ] {
+            let solver = build_solver(&tree, &masses, theta, order);
+            let mut max_rel = 0.0_f64;
+            for i in (0..pos.len()).step_by(37) {
+                let mut stats = TraversalStats::default();
+                let bh = solver.field_at(pos[i], Some(i as u32), &mut stats);
+                let exact = direct_field(&pos, &masses, pos[i], Some(i), 1.0, 1e-3);
+                let rel = (bh.accel - exact.accel).norm() / exact.accel.norm().max(1e-12);
+                max_rel = max_rel.max(rel);
+            }
+            assert!(
+                max_rel < tol,
+                "θ={theta} {order:?}: max rel accel error {max_rel} ≥ {tol}"
+            );
+        }
+    }
+
+    #[test]
+    fn octupole_beats_quadrupole() {
+        // Each added multipole order must reduce the acceleration error at
+        // a fixed opening angle (the point of carrying them: ChaNGa's
+        // 16-pole expansion buys accuracy per accepted cell).
+        let (pos, masses) = random_system(700, 21);
+        let tree = Octree::build(
+            &pos,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 16, parallel_sort: false },
+        );
+        let theta = 0.5;
+        let mut errs = Vec::new();
+        for order in [MultipoleOrder::Monopole, MultipoleOrder::Quadrupole, MultipoleOrder::Octupole] {
+            let solver = build_solver(&tree, &masses, theta, order);
+            let mut err = 0.0;
+            let mut st = TraversalStats::default();
+            for i in (0..pos.len()).step_by(23) {
+                let bh = solver.field_at(pos[i], Some(i as u32), &mut st).accel;
+                let exact = direct_field(&pos, &masses, pos[i], Some(i), 1.0, 1e-3).accel;
+                err += (bh - exact).norm() / exact.norm().max(1e-12);
+            }
+            errs.push(err);
+        }
+        assert!(errs[1] < 0.7 * errs[0], "quad {} !< mono {}", errs[1], errs[0]);
+        assert!(errs[2] < 0.75 * errs[1], "oct {} !< quad {}", errs[2], errs[1]);
+    }
+
+    #[test]
+    fn octupole_potential_matches_direct_sum_tightly() {
+        let (pos, masses) = random_system(400, 29);
+        let tree = Octree::build(
+            &pos,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 16, parallel_sort: false },
+        );
+        let solver = build_solver(&tree, &masses, 0.5, MultipoleOrder::Octupole);
+        let mut st = TraversalStats::default();
+        for i in [5usize, 111, 333] {
+            let bh = solver.field_at(pos[i], Some(i as u32), &mut st);
+            let exact = direct_field(&pos, &masses, pos[i], Some(i), 1.0, 1e-3);
+            let rel = (bh.potential - exact.potential).abs() / exact.potential.abs();
+            assert!(rel < 2e-3, "octupole potential rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn multipole_degrees() {
+        assert_eq!(MultipoleOrder::Monopole.degree(), 1);
+        assert_eq!(MultipoleOrder::Quadrupole.degree(), 2);
+        assert_eq!(MultipoleOrder::Octupole.degree(), 3);
+    }
+
+    #[test]
+    fn quadrupole_beats_monopole() {
+        let (pos, masses) = random_system(600, 12);
+        let tree = Octree::build(
+            &pos,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 16, parallel_sort: false },
+        );
+        let mono = build_solver(&tree, &masses, 0.7, MultipoleOrder::Monopole);
+        let quad = build_solver(&tree, &masses, 0.7, MultipoleOrder::Quadrupole);
+        let mut err_mono = 0.0;
+        let mut err_quad = 0.0;
+        for i in (0..pos.len()).step_by(29) {
+            let mut st = TraversalStats::default();
+            let exact = direct_field(&pos, &masses, pos[i], Some(i), 1.0, 1e-3);
+            let am = mono.field_at(pos[i], Some(i as u32), &mut st).accel;
+            let aq = quad.field_at(pos[i], Some(i as u32), &mut st).accel;
+            err_mono += (am - exact.accel).norm();
+            err_quad += (aq - exact.accel).norm();
+        }
+        assert!(
+            err_quad < err_mono * 0.7,
+            "quadrupole ({err_quad}) should clearly beat monopole ({err_mono})"
+        );
+    }
+
+    #[test]
+    fn smaller_theta_costs_more_interactions() {
+        let (pos, masses) = random_system(2000, 15);
+        let tree = Octree::build(
+            &pos,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 16, parallel_sort: false },
+        );
+        let loose = build_solver(&tree, &masses, 0.9, MultipoleOrder::Monopole);
+        let tight = build_solver(&tree, &masses, 0.3, MultipoleOrder::Monopole);
+        let (_, st_loose) = loose.accelerations(&pos);
+        let (_, st_tight) = tight.accelerations(&pos);
+        assert!(
+            st_tight.total_interactions() > 2 * st_loose.total_interactions(),
+            "tight {} vs loose {}",
+            st_tight.total_interactions(),
+            st_loose.total_interactions()
+        );
+    }
+
+    #[test]
+    fn momentum_conservation_of_pairwise_forces() {
+        // Direct sum: Σ m a = 0 exactly (Newton's third law); Barnes–Hut
+        // violates it only at the multipole truncation level.
+        let (pos, masses) = random_system(300, 33);
+        let tree = Octree::build(
+            &pos,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 8, parallel_sort: false },
+        );
+        let solver = build_solver(&tree, &masses, 0.4, MultipoleOrder::Quadrupole);
+        let (samples, _) = solver.accelerations(&pos);
+        let net: Vec3 = samples
+            .iter()
+            .zip(&masses)
+            .map(|(s, &m)| s.accel * m)
+            .fold(Vec3::ZERO, |a, b| a + b);
+        // Scale: typical |m a| ~ G m²/r² ~ (1/300)² × 300 pairs ≈ 1e-3.
+        let typical: f64 = samples
+            .iter()
+            .zip(&masses)
+            .map(|(s, &m)| (s.accel * m).norm())
+            .sum::<f64>()
+            / 300.0;
+        assert!(
+            net.norm() < 0.05 * typical * 300.0_f64.sqrt(),
+            "net force {net:?} too large vs typical {typical}"
+        );
+    }
+
+    #[test]
+    fn gravitational_energy_sign_and_scaling() {
+        let (pos, masses) = random_system(200, 44);
+        let tree = Octree::build(&pos, &Aabb::unit(), OctreeConfig::default());
+        let solver = build_solver(&tree, &masses, 0.4, MultipoleOrder::Quadrupole);
+        let (samples, _) = solver.accelerations(&pos);
+        let pots: Vec<f64> = samples.iter().map(|s| s.potential).collect();
+        let e = gravitational_energy(&masses, &pots);
+        assert!(e < 0.0, "bound system must have negative energy, got {e}");
+    }
+
+    #[test]
+    fn potential_matches_direct_sum() {
+        let (pos, masses) = random_system(400, 50);
+        let tree = Octree::build(
+            &pos,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 16, parallel_sort: false },
+        );
+        let solver = build_solver(&tree, &masses, 0.4, MultipoleOrder::Quadrupole);
+        let mut st = TraversalStats::default();
+        for i in [0usize, 111, 333] {
+            let bh = solver.field_at(pos[i], Some(i as u32), &mut st);
+            let exact = direct_field(&pos, &masses, pos[i], Some(i), 1.0, 1e-3);
+            let rel = (bh.potential - exact.potential).abs() / exact.potential.abs();
+            assert!(rel < 5e-3, "potential rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn skip_excludes_self() {
+        let pos = vec![Vec3::splat(0.3), Vec3::splat(0.7)];
+        let masses = vec![1.0, 1.0];
+        let tree = Octree::build(&pos, &Aabb::unit(), OctreeConfig::default());
+        let solver = build_solver(&tree, &masses, 0.5, MultipoleOrder::Monopole);
+        let mut st = TraversalStats::default();
+        let with_skip = solver.field_at(pos[0], Some(0), &mut st);
+        let without = solver.field_at(pos[0], None, &mut st);
+        // Without skip the softened self-term adds −Gm/ε to the potential.
+        assert!(without.potential < with_skip.potential);
+        // Self-force is zero either way (d = 0 ⇒ softened force 0).
+        assert!((with_skip.accel - without.accel).norm() < 1e-12);
+    }
+}

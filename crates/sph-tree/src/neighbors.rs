@@ -1,0 +1,288 @@
+//! Fixed-radius neighbour discovery by tree walk (Algorithm 1, step 2).
+//!
+//! All three parent codes discover neighbours by walking a tree (Table 1);
+//! this module is the mini-app's version. Searches prune on the per-node
+//! *tight* bounding boxes, support per-axis periodicity by querying each
+//! ghost image of the search centre (the square patch wraps in z), and
+//! count visited nodes / evaluated pairs in [`TraversalStats`] for the
+//! performance model.
+
+use crate::octree::Octree;
+use crate::TraversalStats;
+use rayon::prelude::*;
+use sph_math::{Periodicity, Vec3};
+
+/// Neighbour search over a built octree.
+pub struct NeighborSearch<'a> {
+    tree: &'a Octree,
+    periodicity: Periodicity,
+}
+
+impl<'a> NeighborSearch<'a> {
+    pub fn new(tree: &'a Octree, periodicity: Periodicity) -> Self {
+        // Minimum-image searches are only unambiguous when the radius stays
+        // below half the periodic span; enforced per query below.
+        NeighborSearch { tree, periodicity }
+    }
+
+    /// Indices (original particle ids) of all particles within `radius` of
+    /// `center`, appended to `out`. Includes the query particle itself if it
+    /// is within range — SPH sums run over `j = i` too (self-contribution).
+    pub fn neighbors_within(
+        &self,
+        center: Vec3,
+        radius: f64,
+        out: &mut Vec<u32>,
+        stats: &mut TraversalStats,
+    ) {
+        assert!(radius > 0.0 && radius.is_finite(), "bad search radius {radius}");
+        for axis in 0..3 {
+            if self.periodicity.periodic[axis] {
+                let span = self.periodicity.domain.extent().component(axis);
+                assert!(
+                    2.0 * radius <= span,
+                    "search radius {radius} exceeds half the periodic span {span} on axis {axis}"
+                );
+            }
+        }
+        for offset in self.periodicity.ghost_offsets(center, radius) {
+            self.search_one_image(center + offset, radius, out, stats);
+        }
+    }
+
+    /// Plain (non-periodic) search from one image of the centre.
+    fn search_one_image(
+        &self,
+        center: Vec3,
+        radius: f64,
+        out: &mut Vec<u32>,
+        stats: &mut TraversalStats,
+    ) {
+        let r2 = radius * radius;
+        let nodes = self.tree.nodes();
+        let pos = self.tree.sorted_positions();
+        let order = self.tree.order();
+        // Explicit stack; recursion depth can reach 21 but a stack avoids
+        // function-call overhead in this hot path.
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(ni) = stack.pop() {
+            let node = &nodes[ni as usize];
+            stats.nodes_visited += 1;
+            if node.tight.dist_sq_to_point(center) > r2 {
+                continue;
+            }
+            if node.is_leaf() {
+                for k in node.start..node.end {
+                    stats.p2p_interactions += 1;
+                    if pos[k as usize].dist_sq(center) <= r2 {
+                        out.push(order[k as usize]);
+                    }
+                }
+            } else {
+                for &c in &node.children {
+                    if c != u32::MAX {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Count of neighbours within `radius` of `center` (no allocation).
+    pub fn count_within(&self, center: Vec3, radius: f64, stats: &mut TraversalStats) -> usize {
+        let mut tmp = Vec::with_capacity(64);
+        self.neighbors_within(center, radius, &mut tmp, stats);
+        tmp.len()
+    }
+
+    /// Batch search: neighbour lists for many query points in parallel.
+    ///
+    /// Returns one `Vec<u32>` per query plus the merged traversal stats.
+    /// This is the shape of the per-time-step neighbour phase (Fig. 4
+    /// phases B–D) and is embarrassingly parallel over queries.
+    pub fn batch_neighbors(
+        &self,
+        centers: &[Vec3],
+        radii: &[f64],
+    ) -> (Vec<Vec<u32>>, TraversalStats) {
+        assert_eq!(centers.len(), radii.len());
+        let results: Vec<(Vec<u32>, TraversalStats)> = centers
+            .par_iter()
+            .zip(radii.par_iter())
+            .map(|(&c, &r)| {
+                let mut out = Vec::with_capacity(96);
+                let mut stats = TraversalStats::default();
+                self.neighbors_within(c, r, &mut out, &mut stats);
+                (out, stats)
+            })
+            .collect();
+        let mut merged = TraversalStats::default();
+        let lists = results
+            .into_iter()
+            .map(|(l, s)| {
+                merged.merge(&s);
+                l
+            })
+            .collect();
+        (lists, merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::octree::OctreeConfig;
+    use sph_math::{Aabb, SplitMix64};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()))
+            .collect()
+    }
+
+    /// Brute-force reference with the same periodic metric.
+    fn brute_force(pts: &[Vec3], per: &Periodicity, c: Vec3, r: f64) -> Vec<u32> {
+        let mut v: Vec<u32> = (0..pts.len() as u32)
+            .filter(|&i| per.distance_sq(pts[i as usize], c) <= r * r)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_brute_force_open_domain() {
+        let pts = random_points(2000, 31);
+        let tree = Octree::build(
+            &pts,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 16, parallel_sort: false },
+        );
+        let per = Periodicity::open(Aabb::unit());
+        let search = NeighborSearch::new(&tree, per);
+        let mut rng = SplitMix64::new(77);
+        for _ in 0..50 {
+            let c = Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64());
+            let r = rng.uniform(0.02, 0.2);
+            let mut found = Vec::new();
+            let mut stats = TraversalStats::default();
+            search.neighbors_within(c, r, &mut found, &mut stats);
+            found.sort_unstable();
+            assert_eq!(found, brute_force(&pts, &per, c, r));
+            assert!(stats.nodes_visited > 0);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_periodic_z() {
+        let pts = random_points(1500, 41);
+        let tree = Octree::build(
+            &pts,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 16, parallel_sort: false },
+        );
+        let per = Periodicity::periodic_z(Aabb::unit());
+        let search = NeighborSearch::new(&tree, per);
+        let mut rng = SplitMix64::new(88);
+        for _ in 0..50 {
+            // Bias queries toward the z faces to stress the wrap.
+            let z = if rng.next_f64() < 0.5 { rng.uniform(0.0, 0.1) } else { rng.uniform(0.9, 1.0) };
+            let c = Vec3::new(rng.next_f64(), rng.next_f64(), z);
+            let r = rng.uniform(0.02, 0.15);
+            let mut found = Vec::new();
+            let mut stats = TraversalStats::default();
+            search.neighbors_within(c, r, &mut found, &mut stats);
+            found.sort_unstable();
+            assert_eq!(found, brute_force(&pts, &per, c, r), "c={c:?} r={r}");
+        }
+    }
+
+    #[test]
+    fn fully_periodic_corner_query() {
+        let pts = random_points(1000, 55);
+        let tree = Octree::build(
+            &pts,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 8, parallel_sort: false },
+        );
+        let per = Periodicity::fully_periodic(Aabb::unit());
+        let search = NeighborSearch::new(&tree, per);
+        let c = Vec3::splat(0.01); // near the corner: 8 images
+        let r = 0.12;
+        let mut found = Vec::new();
+        let mut stats = TraversalStats::default();
+        search.neighbors_within(c, r, &mut found, &mut stats);
+        found.sort_unstable();
+        assert_eq!(found, brute_force(&pts, &per, c, r));
+    }
+
+    #[test]
+    #[should_panic]
+    fn radius_beyond_half_span_rejected() {
+        let pts = random_points(100, 3);
+        let tree = Octree::build(&pts, &Aabb::unit(), OctreeConfig::default());
+        let per = Periodicity::periodic_z(Aabb::unit());
+        let search = NeighborSearch::new(&tree, per);
+        let mut out = Vec::new();
+        let mut stats = TraversalStats::default();
+        search.neighbors_within(Vec3::splat(0.5), 0.6, &mut out, &mut stats);
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let pts = random_points(800, 21);
+        let tree = Octree::build(
+            &pts,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 16, parallel_sort: false },
+        );
+        let per = Periodicity::open(Aabb::unit());
+        let search = NeighborSearch::new(&tree, per);
+        let centers: Vec<Vec3> = pts[..100].to_vec();
+        let radii = vec![0.1; 100];
+        let (lists, stats) = search.batch_neighbors(&centers, &radii);
+        assert_eq!(lists.len(), 100);
+        assert!(stats.p2p_interactions > 0);
+        for (i, list) in lists.iter().enumerate() {
+            let mut sorted = list.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, brute_force(&pts, &per, centers[i], 0.1));
+            // Self is always a neighbour at r > 0.
+            assert!(sorted.contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn count_within_matches_list_length() {
+        let pts = random_points(500, 61);
+        let tree = Octree::build(&pts, &Aabb::unit(), OctreeConfig::default());
+        let search = NeighborSearch::new(&tree, Periodicity::open(Aabb::unit()));
+        let mut stats = TraversalStats::default();
+        let c = Vec3::splat(0.4);
+        let n = search.count_within(c, 0.2, &mut stats);
+        let mut out = Vec::new();
+        search.neighbors_within(c, 0.2, &mut out, &mut stats);
+        assert_eq!(n, out.len());
+    }
+
+    #[test]
+    fn pruning_actually_prunes() {
+        // A tiny search in a big tree must visit far fewer nodes than exist.
+        let pts = random_points(10_000, 13);
+        let tree = Octree::build(
+            &pts,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 16, parallel_sort: false },
+        );
+        let search = NeighborSearch::new(&tree, Periodicity::open(Aabb::unit()));
+        let mut stats = TraversalStats::default();
+        let mut out = Vec::new();
+        search.neighbors_within(Vec3::splat(0.5), 0.03, &mut out, &mut stats);
+        assert!(
+            (stats.nodes_visited as usize) < tree.nodes().len() / 4,
+            "visited {} of {} nodes",
+            stats.nodes_visited,
+            tree.nodes().len()
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the tree substrate: the octree must index any
+//! particle set, the neighbour search must equal brute force, Barnes–Hut
+//! must stay within its error envelope.
+
+use proptest::prelude::*;
+use sph_math::{Aabb, Periodicity, Vec3};
+use sph_tree::gravity::direct_field;
+use sph_tree::{GravityConfig, GravitySolver, MultipoleOrder, NeighborSearch, Octree, OctreeConfig, TraversalStats};
+
+fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec3>> {
+    prop::collection::vec(
+        (0.0..1.0_f64, 0.0..1.0_f64, 0.0..1.0_f64).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn octree_indexes_every_particle_once(pts in points(1..400), leaf in 1usize..64) {
+        let tree = Octree::build(
+            &pts,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: leaf, parallel_sort: false },
+        );
+        let mut seen = vec![false; pts.len()];
+        for &i in tree.order() {
+            prop_assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Leaf ranges tile [0, n).
+        let mut ranges: Vec<(u32, u32)> = tree
+            .nodes()
+            .iter()
+            .filter(|n| n.is_leaf())
+            .map(|n| (n.start, n.end))
+            .collect();
+        ranges.sort_unstable();
+        let mut cursor = 0;
+        for (s, e) in ranges {
+            prop_assert_eq!(s, cursor);
+            cursor = e;
+        }
+        prop_assert_eq!(cursor, pts.len() as u32);
+    }
+
+    #[test]
+    fn neighbor_search_equals_brute_force(
+        pts in points(2..300),
+        q in (0.0..1.0_f64, 0.0..1.0_f64, 0.0..1.0_f64),
+        r in 0.01..0.4_f64
+    ) {
+        let tree = Octree::build(
+            &pts,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 8, parallel_sort: false },
+        );
+        let per = Periodicity::open(Aabb::unit());
+        let search = NeighborSearch::new(&tree, per);
+        let center = Vec3::new(q.0, q.1, q.2);
+        let mut found = Vec::new();
+        let mut stats = TraversalStats::default();
+        search.neighbors_within(center, r, &mut found, &mut stats);
+        found.sort_unstable();
+        let brute: Vec<u32> = (0..pts.len() as u32)
+            .filter(|&i| pts[i as usize].dist_sq(center) <= r * r)
+            .collect();
+        prop_assert_eq!(found, brute);
+    }
+
+    #[test]
+    fn periodic_neighbor_search_equals_brute_force(
+        pts in points(2..200),
+        q in (0.0..1.0_f64, 0.0..1.0_f64, 0.0..1.0_f64),
+        r in 0.01..0.35_f64
+    ) {
+        let tree = Octree::build(
+            &pts,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 8, parallel_sort: false },
+        );
+        let per = Periodicity::periodic_z(Aabb::unit());
+        let search = NeighborSearch::new(&tree, per);
+        let center = Vec3::new(q.0, q.1, q.2);
+        let mut found = Vec::new();
+        let mut stats = TraversalStats::default();
+        search.neighbors_within(center, r, &mut found, &mut stats);
+        found.sort_unstable();
+        let brute: Vec<u32> = (0..pts.len() as u32)
+            .filter(|&i| per.distance_sq(pts[i as usize], center) <= r * r)
+            .collect();
+        prop_assert_eq!(found, brute);
+    }
+
+    #[test]
+    fn barnes_hut_stays_within_error_envelope(pts in points(50..250)) {
+        let masses = vec![1.0 / pts.len() as f64; pts.len()];
+        let tree = Octree::build(
+            &pts,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 16, parallel_sort: false },
+        );
+        let solver = GravitySolver::new(
+            &tree,
+            &masses,
+            GravityConfig { g: 1.0, theta: 0.4, softening: 1e-2, order: MultipoleOrder::Quadrupole },
+        );
+        // Mass invariant.
+        prop_assert!((solver.total_mass() - 1.0).abs() < 1e-12);
+        // Acceleration error vs direct sum bounded at θ = 0.4.
+        let mut stats = TraversalStats::default();
+        for i in (0..pts.len()).step_by(17) {
+            let bh = solver.field_at(pts[i], Some(i as u32), &mut stats);
+            let exact = direct_field(&pts, &masses, pts[i], Some(i), 1.0, 1e-2);
+            let rel = (bh.accel - exact.accel).norm() / exact.accel.norm().max(1e-9);
+            prop_assert!(rel < 0.05, "rel accel error {rel} at particle {i}");
+        }
+    }
+
+    #[test]
+    fn gravity_potential_is_negative_for_positive_masses(pts in points(10..100)) {
+        let masses = vec![1.0; pts.len()];
+        let tree = Octree::build(
+            &pts,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 8, parallel_sort: false },
+        );
+        let solver = GravitySolver::new(&tree, &masses, GravityConfig::default());
+        let mut stats = TraversalStats::default();
+        for i in (0..pts.len()).step_by(7) {
+            let s = solver.field_at(pts[i], Some(i as u32), &mut stats);
+            if pts.len() > 1 {
+                prop_assert!(s.potential < 0.0);
+            }
+            prop_assert!(s.accel.is_finite());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration: the Evrard collapse (§5.1) under the astrophysics
+//! configurations — self-gravity, energy ledger, collapse dynamics.
+
+use sph_exa_repro::exa::SimulationBuilder;
+use sph_exa_repro::parents::{changa, sphynx};
+use sph_exa_repro::scenarios::evrard::evrard_gravitational_energy;
+use sph_exa_repro::scenarios::{evrard_collapse, EvrardConfig};
+
+fn build(n: usize) -> sph_exa_repro::core::ParticleSystem {
+    evrard_collapse(&EvrardConfig { n_target: n, ..Default::default() })
+}
+
+#[test]
+fn measured_potential_matches_analytic_profile() {
+    // W of the ρ ∝ 1/r sphere is −2GM²/(3R); the tree-measured value on a
+    // finite softened particle realisation must land within a few percent.
+    let setup = sphynx();
+    let sys = build(4000);
+    let mut sim = SimulationBuilder::new(sys)
+        .config(setup.sph)
+        .gravity(setup.gravity.unwrap())
+        .build()
+        .unwrap();
+    let all: Vec<u32> = (0..sim.sys.len() as u32).collect();
+    sim.evaluate_derivatives(&all);
+    let c = sim.conservation();
+    let w_analytic = evrard_gravitational_energy(1.0, 1.0, 1.0);
+    let rel = ((c.gravitational_energy - w_analytic) / w_analytic).abs();
+    assert!(
+        rel < 0.05,
+        "W measured {} vs analytic {w_analytic} (rel {rel})",
+        c.gravitational_energy
+    );
+}
+
+#[test]
+fn cold_cloud_collapses_and_conserves_energy() {
+    let setup = sphynx();
+    let sys = build(3000);
+    let mut sim = SimulationBuilder::new(sys)
+        .config(setup.sph)
+        .gravity(setup.gravity.unwrap())
+        .build()
+        .unwrap();
+    sim.step();
+    let c0 = sim.conservation();
+    let r0 = mean_radius(&sim.sys);
+    for _ in 0..8 {
+        sim.step();
+    }
+    let c1 = sim.conservation();
+    let r1 = mean_radius(&sim.sys);
+    assert!(r1 < r0, "cloud must contract: ⟨r⟩ {r0} → {r1}");
+    assert!(c1.kinetic_energy > c0.kinetic_energy, "infall must gain kinetic energy");
+    assert!(
+        c1.gravitational_energy < c0.gravitational_energy,
+        "potential must deepen"
+    );
+    assert!(c1.energy_drift(&c0) < 0.02, "energy drift {}", c1.energy_drift(&c0));
+    assert!(sim.sys.sanity_check().is_ok());
+}
+
+#[test]
+fn central_density_grows_during_collapse() {
+    let setup = sphynx();
+    let sys = build(4000);
+    let mut sim = SimulationBuilder::new(sys)
+        .config(setup.sph)
+        .gravity(setup.gravity.unwrap())
+        .build()
+        .unwrap();
+    sim.step();
+    let rho0 = central_density(&sim.sys);
+    for _ in 0..8 {
+        sim.step();
+    }
+    let rho1 = central_density(&sim.sys);
+    assert!(
+        rho1 > 1.2 * rho0,
+        "central density should grow during collapse: {rho0} → {rho1}"
+    );
+}
+
+#[test]
+fn changa_runs_evrard_with_block_timesteps() {
+    // ChaNGa's individual time-stepping on the centrally-condensed cloud:
+    // after some collapse the core needs finer steps than the envelope, so
+    // the active fraction per substep drops below one — the
+    // multi-time-stepping advantage behind Fig. 2b.
+    let setup = changa();
+    let sys = build(3000);
+    let mut sim = SimulationBuilder::new(sys)
+        .config(setup.sph)
+        .gravity(setup.gravity.unwrap())
+        .build()
+        .unwrap();
+    let mut saw_rung_spread = false;
+    for _ in 0..6 {
+        let r = sim.step();
+        if r.substeps > 1 {
+            saw_rung_spread = true;
+            assert!(r.active_fraction < 1.0);
+        }
+    }
+    assert!(sim.sys.sanity_check().is_ok());
+    // Rung spread is expected but depends on the state; record it softly:
+    // the run must at least complete, and if rungs spread the saving shows.
+    let _ = saw_rung_spread;
+}
+
+fn mean_radius(sys: &sph_exa_repro::core::ParticleSystem) -> f64 {
+    sys.x.iter().map(|p| p.norm()).sum::<f64>() / sys.len() as f64
+}
+
+fn central_density(sys: &sph_exa_repro::core::ParticleSystem) -> f64 {
+    let core: Vec<f64> =
+        (0..sys.len()).filter(|&i| sys.x[i].norm() < 0.15).map(|i| sys.rho[i]).collect();
+    assert!(!core.is_empty());
+    core.iter().sum::<f64>() / core.len() as f64
+}
