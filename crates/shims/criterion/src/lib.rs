@@ -1,0 +1,263 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset the `sph-bench` benches use: `Criterion`,
+//! `benchmark_group` with `sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter` /
+//! `iter_with_setup`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Timing is honest but deliberately simple: each benchmark runs a short
+//! warm-up, then `sample_size` timed samples, and reports the median
+//! per-iteration time on stdout. There is no statistical analysis, no
+//! outlier detection, and no HTML report — the shim exists so that
+//! `cargo bench` compiles and produces usable numbers offline, not to
+//! replace criterion.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark measurement driver, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    /// Nanoseconds per iteration for each sample, filled by `iter*`.
+    samples: Vec<f64>,
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self { samples: Vec::with_capacity(sample_size), sample_size, iters_per_sample: 1 }
+    }
+
+    /// Time `routine` repeatedly; the routine's output is black-boxed.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one call, also used to size iterations per sample so
+        // that very fast routines are not dominated by timer resolution.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed();
+        self.iters_per_sample = iters_for(once);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let dt = start.elapsed().as_secs_f64();
+            self.samples.push(dt * 1e9 / self.iters_per_sample as f64);
+        }
+    }
+
+    /// Time `routine` on a fresh value from `setup` each iteration; only
+    /// the routine is timed.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+    ) {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+
+    /// `iter_batched` with any batch size degrades to per-iteration setup
+    /// in this shim.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        setup: S,
+        routine: R,
+        _size: BatchSize,
+    ) {
+        self.iter_with_setup(setup, routine);
+    }
+
+    fn report(&self, id: &str) {
+        let mut s = self.samples.clone();
+        if s.is_empty() {
+            println!("bench {id:<40} (no samples)");
+            return;
+        }
+        s.sort_by(|a, b| a.total_cmp(b));
+        let median = s[s.len() / 2];
+        println!(
+            "bench {id:<40} median {:>12} /iter  ({} samples x {} iters)",
+            human_ns(median),
+            s.len(),
+            self.iters_per_sample
+        );
+    }
+}
+
+/// Batch sizing hints, accepted and ignored (setup runs per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn iters_for(once: Duration) -> u64 {
+    // Aim for ~2 ms per sample, capped to keep total bench time bounded.
+    let ns = once.as_nanos().max(1) as u64;
+    (2_000_000 / ns).clamp(1, 10_000)
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Benchmark group, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&full);
+        self
+    }
+
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// Top-level harness state, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 { 10 } else { self.default_sample_size };
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let n = if self.default_sample_size == 0 { 10 } else { self.default_sample_size };
+        let mut b = Bencher::new(n);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a function running each
+/// target against a shared `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: a `main` that runs every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn iter_with_setup_passes_fresh_input() {
+        let mut b = Bencher::new(4);
+        b.iter_with_setup(|| vec![1, 2, 3], |mut v| v.pop());
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

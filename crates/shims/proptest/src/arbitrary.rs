@@ -1,0 +1,92 @@
+//! `any::<T>()`: whole-domain strategies for primitive types and
+//! `prop::sample::Index`.
+
+use crate::sample::Index;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// Whole-domain strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! arbitrary_prim {
+    ($($ty:ty),+) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary_value(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )+};
+}
+
+arbitrary_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite f64s spanning many magnitudes (no NaN/inf: the workspace's
+    /// properties are about physics, not IEEE edge cases).
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        let mantissa = rng.uniform_f64(-1.0, 1.0);
+        let exp = rng.uniform_u64(0, 61) as i32 - 30;
+        mantissa * 2f64.powi(exp)
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary_value(rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn any_u64_varies() {
+        let mut rng = TestRng::for_case("arb", 0);
+        let s = any::<u64>();
+        let a = s.generate(&mut rng);
+        let b = s.generate(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn any_index_is_usable() {
+        let mut rng = TestRng::for_case("arb", 1);
+        let ix = any::<Index>().generate(&mut rng);
+        assert!(ix.index(10) < 10);
+    }
+
+    #[test]
+    fn any_f64_is_finite() {
+        let mut rng = TestRng::for_case("arb", 2);
+        for _ in 0..1_000 {
+            assert!(any::<f64>().generate(&mut rng).is_finite());
+        }
+    }
+}

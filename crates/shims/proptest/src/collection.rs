@@ -1,0 +1,142 @@
+//! Collection strategies: `prop::collection::vec` and
+//! `prop::collection::hash_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::{Range, RangeInclusive};
+
+/// Length specification for collection strategies, mirroring
+/// `proptest::collection::SizeRange` (half-open `[lo, hi)`).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.lo + 1 >= self.hi {
+            self.lo
+        } else {
+            rng.uniform_usize(self.lo, self.hi)
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        Self { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self { lo: *r.start(), hi: r.end() + 1 }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+/// `Vec<T>` strategy with element strategy `element` and length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `HashSet<T>` strategy: distinct elements, with the set size in `size`
+/// where the element domain allows it.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { element, size: size.into() }
+}
+
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(target);
+        // Duplicates don't grow the set; bound the retries so a small
+        // element domain cannot loop forever.
+        let mut attempts = 0usize;
+        let max_attempts = 100 * (target + 1);
+        while out.len() < target && attempts < max_attempts {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_respects_length_range() {
+        let s = vec(0.0..1.0_f64, 2..5);
+        let mut rng = TestRng::for_case("collection", 0);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()), "len {}", v.len());
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn vec_exact_length() {
+        let s = vec(0u32..10, 7);
+        let mut rng = TestRng::for_case("collection", 1);
+        assert_eq!(s.generate(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn hash_set_produces_distinct_elements_in_range() {
+        let s = hash_set((0u64..32, 0u64..32, 0u64..32), 2..50);
+        let mut rng = TestRng::for_case("collection", 2);
+        for _ in 0..100 {
+            let set = s.generate(&mut rng);
+            assert!((2..50).contains(&set.len()), "len {}", set.len());
+        }
+    }
+
+    #[test]
+    fn hash_set_caps_attempts_on_tiny_domains() {
+        // Only 2 distinct values exist; asking for 10 must terminate.
+        let s = hash_set(0u8..2, 10);
+        let mut rng = TestRng::for_case("collection", 3);
+        let set = s.generate(&mut rng);
+        assert!(set.len() <= 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! `prop::sample`: collection-independent index sampling.
+
+/// An index into a collection whose size is unknown at generation time,
+/// mirroring `proptest::sample::Index`. Generate one with
+/// `any::<prop::sample::Index>()`, then project it with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index(pub(crate) u64);
+
+impl Index {
+    /// Project onto `[0, len)`. Panics if `len == 0`, as upstream does.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot sample an index into an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_projects_into_bounds() {
+        for raw in [0u64, 1, 41, u64::MAX] {
+            let ix = Index(raw);
+            for len in [1usize, 2, 7, 1000] {
+                assert!(ix.index(len) < len);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_collection_panics() {
+        Index(3).index(0);
+    }
+}

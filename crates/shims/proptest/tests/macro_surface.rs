@@ -1,0 +1,86 @@
+//! Exercises the shim's macro surface exactly the way the workspace test
+//! suites do: prelude glob import, config header, patterns, assume,
+//! oneof, collections, and sample indices.
+
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Tag {
+    A,
+    B,
+    Scaled(u8),
+}
+
+fn tag() -> impl Strategy<Value = Tag> {
+    prop_oneof![Just(Tag::A), Just(Tag::B), (3u8..=10).prop_map(Tag::Scaled)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tuples_and_maps(a in (0.0..1.0_f64, 0.0..1.0_f64).prop_map(|(x, y)| x + y)) {
+        prop_assert!((0.0..2.0).contains(&a));
+    }
+
+    #[test]
+    fn mut_pattern_and_vec(mut v in prop::collection::vec(-5.0..5.0_f64, 1..20)) {
+        let first = v[0];
+        v.reverse();
+        prop_assert_eq!(*v.last().unwrap(), first);
+    }
+
+    #[test]
+    fn tuple_pattern((x, y) in (0u32..10, 10u32..20)) {
+        prop_assert!(x < y, "{x} vs {y}");
+        prop_assert_ne!(x, y);
+    }
+
+    #[test]
+    fn assume_discards(n in 0u64..100) {
+        prop_assume!(n % 2 == 0);
+        prop_assert_eq!(n % 2, 0);
+    }
+
+    #[test]
+    fn oneof_and_inclusive_range(t in tag()) {
+        if let Tag::Scaled(s) = t {
+            prop_assert!((3..=10).contains(&s));
+        }
+    }
+
+    #[test]
+    fn sample_index(ix in any::<prop::sample::Index>(), len in 1usize..50) {
+        prop_assert!(ix.index(len) < len);
+    }
+
+    #[test]
+    fn hash_sets_are_distinct(cells in prop::collection::hash_set((0u64..32, 0u64..32), 2..20)) {
+        prop_assert!(cells.len() >= 2);
+    }
+}
+
+proptest! {
+    // No config header: default case count path.
+    #[test]
+    fn default_config_path(x in -1e6..1e6_f64) {
+        prop_assert!(x.is_finite());
+    }
+}
+
+#[test]
+fn failing_property_panics_with_case_info() {
+    let result = std::panic::catch_unwind(|| {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    });
+    let err = result.expect_err("property must fail");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("always_fails"), "{msg}");
+    assert!(msg.contains("x was"), "{msg}");
+}

@@ -1,0 +1,121 @@
+//! Offline *sequential* stand-in for the `rayon` crate.
+//!
+//! The workspace's build environment cannot reach crates.io, so this shim
+//! provides the exact rayon API surface the sources use — `par_iter()` on
+//! slices/Vecs and `par_sort_unstable()` on mutable slices — implemented
+//! on top of plain `std` iterators. `par_iter()` returns the *standard*
+//! slice iterator, so every downstream adaptor (`map`, `zip`, `enumerate`,
+//! `collect`, …) is just the `std::iter` machinery and the call sites
+//! compile unchanged.
+//!
+//! Swapping the real rayon back in (once a vendored copy is available) is a
+//! one-line change in the root `Cargo.toml`; every call site was written
+//! against real rayon semantics (no shared mutation inside the closures),
+//! so the swap is purely a performance upgrade.
+
+pub mod prelude {
+    /// `par_iter()` for shared slices — sequential in this shim.
+    ///
+    /// Mirrors `rayon::iter::IntoParallelRefIterator`, but the associated
+    /// iterator is `std::slice::Iter`, so the whole std adaptor ecosystem
+    /// applies afterwards.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = core::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut()` for exclusive slices — sequential in this shim.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Iter = core::slice::IterMut<'data, T>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// Sorting entry points from `rayon::slice::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        fn as_mut_slice_shim(&mut self) -> &mut [T];
+
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.as_mut_slice_shim().sort_unstable();
+        }
+
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+            self.as_mut_slice_shim().sort_unstable_by_key(f);
+        }
+
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> core::cmp::Ordering>(&mut self, f: F) {
+            self.as_mut_slice_shim().sort_unstable_by(f);
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn as_mut_slice_shim(&mut self) -> &mut [T] {
+            self
+        }
+    }
+}
+
+/// Sequential `rayon::join`: runs `a` then `b`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of "worker threads" — 1, truthfully, for the sequential shim.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![3, 1, 2];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+    }
+
+    #[test]
+    fn par_iter_zip_enumerate() {
+        let a = [1, 2, 3];
+        let b = [10, 20, 30];
+        let s: Vec<(usize, i32)> =
+            a.par_iter().zip(b.par_iter()).enumerate().map(|(i, (x, y))| (i, x + y)).collect();
+        assert_eq!(s, vec![(0, 11), (1, 22), (2, 33)]);
+    }
+
+    #[test]
+    fn par_sort_unstable_sorts() {
+        let mut v = vec![(3u64, 0u32), (1, 1), (2, 2)];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![(1, 1), (2, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

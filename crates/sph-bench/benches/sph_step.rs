@@ -25,9 +25,7 @@ fn bench_density_pass(c: &mut Criterion) {
         let tree = Octree::build(&sys.x, &sys.bounds(), OctreeConfig::default());
         let active: Vec<u32> = (0..sys.len() as u32).collect();
         group.bench_function(setup.name, |b| {
-            b.iter(|| {
-                black_box(compute_density(&mut sys, &tree, kernel.as_ref(), &cfg, &active).1)
-            })
+            b.iter(|| black_box(compute_density(&mut sys, &tree, kernel.as_ref(), &cfg, &active).1))
         });
     }
     group.finish();
@@ -62,16 +60,10 @@ fn bench_full_steps(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_step");
     group.sample_size(10);
     group.bench_function("square_sphflow", |b| {
-        b.iter_with_setup(
-            || build_square_sim(&sphflow(), 4_000),
-            |mut sim| black_box(sim.step()),
-        )
+        b.iter_with_setup(|| build_square_sim(&sphflow(), 4_000), |mut sim| black_box(sim.step()))
     });
     group.bench_function("evrard_sphynx_gravity", |b| {
-        b.iter_with_setup(
-            || build_evrard_sim(&sphynx(), 4_000, 1),
-            |mut sim| black_box(sim.step()),
-        )
+        b.iter_with_setup(|| build_evrard_sim(&sphynx(), 4_000, 1), |mut sim| black_box(sim.step()))
     });
     group.finish();
 }

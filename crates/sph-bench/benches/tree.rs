@@ -6,7 +6,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use sph_math::{Aabb, Periodicity, SplitMix64, Vec3};
-use sph_tree::{GravityConfig, GravitySolver, MultipoleOrder, NeighborSearch, Octree, OctreeConfig, TraversalStats};
+use sph_tree::{
+    GravityConfig, GravitySolver, MultipoleOrder, NeighborSearch, Octree, OctreeConfig,
+    TraversalStats,
+};
 
 fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
     let mut rng = SplitMix64::new(seed);

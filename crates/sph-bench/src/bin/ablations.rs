@@ -12,7 +12,9 @@
 //! 5. Checkpointing: single-level vs multilevel under failure injection.
 
 use sph_bench::{build_evrard_sim, ExperimentScale};
-use sph_cluster::{model_step, piz_daint, CostModel, LoadBalancing, Partitioner, StepModelConfig, StepWorkload};
+use sph_cluster::{
+    model_step, piz_daint, CostModel, LoadBalancing, Partitioner, StepModelConfig, StepWorkload,
+};
 use sph_core::config::{GradientScheme, TimeStepping};
 use sph_core::density::compute_density;
 use sph_core::gradients::{compute_iad_matrices, scalar_gradient};

@@ -35,9 +35,8 @@ struct Args {
 
 fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().collect();
-    let get = |flag: &str| {
-        argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1)).cloned()
-    };
+    let get =
+        |flag: &str| argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1)).cloned();
     Args {
         test: get("--test").unwrap_or_else(|| "square".into()),
         code: get("--code").unwrap_or_else(|| "miniapp".into()),
@@ -94,7 +93,10 @@ fn main() {
             "square" => build_square_sim(&setup, args.particles),
             "evrard" => {
                 if !setup.supports_evrard() {
-                    eprintln!("{} has no self-gravity; the Evrard test needs it (Table 5)", setup.name);
+                    eprintln!(
+                        "{} has no self-gravity; the Evrard test needs it (Table 5)",
+                        setup.name
+                    );
                     std::process::exit(2);
                 }
                 build_evrard_sim(&setup, args.particles, 42)

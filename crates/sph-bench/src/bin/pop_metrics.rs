@@ -37,7 +37,9 @@ fn analyse(setup: &CodeSetup, scenario: Scenario, scale: ExperimentScale) {
         bounds: sim.sys.bounds(),
     };
     let profile = match scenario {
-        Scenario::Evrard => PhaseProfile { serial_tree: setup.serial_tree, ..PhaseProfile::sphynx_evrard() },
+        Scenario::Evrard => {
+            PhaseProfile { serial_tree: setup.serial_tree, ..PhaseProfile::sphynx_evrard() }
+        }
         Scenario::SquarePatch => PhaseProfile::hydro_only(setup.serial_tree),
     };
     // Reference (lowest core count) total useful time for CompScal.
@@ -65,10 +67,7 @@ fn analyse(setup: &CodeSetup, scenario: Scenario, scale: ExperimentScale) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let pick = |flag: &str| {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .map(|s| s.to_lowercase())
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.to_lowercase())
     };
     let code = pick("--code");
     let test = pick("--test");

@@ -70,11 +70,7 @@ fn main() {
         scale.particles, scale.steps, scale.max_cores
     );
 
-    let setups = [
-        (sphynx(), "sphynx"),
-        (changa(), "changa"),
-        (sphflow(), "sphflow"),
-    ];
+    let setups = [(sphynx(), "sphynx"), (changa(), "changa"), (sphflow(), "sphflow")];
     for (setup, key) in setups {
         if let Some(f) = &code_filter {
             if f != key {

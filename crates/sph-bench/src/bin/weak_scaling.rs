@@ -25,7 +25,8 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(1_000);
-    let steps: usize = std::env::var("SPH_EXA_STEPS").ok().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let steps: usize =
+        std::env::var("SPH_EXA_STEPS").ok().and_then(|s| s.parse().ok()).unwrap_or(2);
     let core_counts = [12usize, 24, 48, 96];
     println!(
         "weak scaling, {per_core} particles/core, cores {core_counts:?}, {steps} steps \

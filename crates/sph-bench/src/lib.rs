@@ -72,9 +72,9 @@ pub fn build_square_sim(setup: &CodeSetup, particles: usize) -> Simulation {
 /// Panics if the setup has no self-gravity (SPH-flow — Table 5 excludes
 /// it from this test).
 pub fn build_evrard_sim(setup: &CodeSetup, particles: usize, seed: u64) -> Simulation {
-    let gravity = setup
-        .gravity
-        .unwrap_or_else(|| panic!("{} cannot run the Evrard collapse (no self-gravity)", setup.name));
+    let gravity = setup.gravity.unwrap_or_else(|| {
+        panic!("{} cannot run the Evrard collapse (no self-gravity)", setup.name)
+    });
     let cfg = EvrardConfig { n_target: particles, seed, ..Default::default() };
     let sys = evrard_collapse(&cfg);
     SimulationBuilder::new(sys)

@@ -38,7 +38,12 @@ pub struct CostModel {
 impl CostModel {
     /// Modelled FLOPs for a rank owning `n_local` particles with the given
     /// counted work.
-    pub fn rank_flops(&self, sph_interactions: f64, gravity_interactions: f64, n_local: f64) -> f64 {
+    pub fn rank_flops(
+        &self,
+        sph_interactions: f64,
+        gravity_interactions: f64,
+        n_local: f64,
+    ) -> f64 {
         assert!(sph_interactions >= 0.0 && gravity_interactions >= 0.0 && n_local >= 0.0);
         let tree = self.tree_flops_per_particle * n_local * (n_local.max(2.0)).log2();
         self.sph_flops_per_interaction * sph_interactions

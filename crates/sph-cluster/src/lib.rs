@@ -35,4 +35,6 @@ pub mod tracegen;
 pub use cost::CostModel;
 pub use machine::{marenostrum4, piz_daint, MachineModel, NetworkModel};
 pub use scaling::{scaling_experiment, ScalingConfig, ScalingRow};
-pub use step_model::{model_step, LoadBalancing, Partitioner, StepModelConfig, StepTiming, StepWorkload};
+pub use step_model::{
+    model_step, LoadBalancing, Partitioner, StepModelConfig, StepTiming, StepWorkload,
+};

@@ -83,13 +83,11 @@ pub fn scaling_experiment(
         // `per_particle_work`; split by the global ratio measured this step.
         let total_gravity = report.stats.gravity.total_interactions() as f64;
         let total_all: f64 = sph_work.iter().sum();
-        let gravity_ratio = if total_all > 0.0 { (total_gravity / total_all).min(1.0) } else { 0.0 };
+        let gravity_ratio =
+            if total_all > 0.0 { (total_gravity / total_all).min(1.0) } else { 0.0 };
         let gravity_work: Vec<f64> = sph_work.iter().map(|w| w * gravity_ratio).collect();
-        let hydro_work: Vec<f64> = sph_work
-            .iter()
-            .zip(&gravity_work)
-            .map(|(&w, &g)| (w - g).max(0.0))
-            .collect();
+        let hydro_work: Vec<f64> =
+            sph_work.iter().zip(&gravity_work).map(|(&w, &g)| (w - g).max(0.0)).collect();
 
         let workload = StepWorkload {
             positions: &sim.sys.x,

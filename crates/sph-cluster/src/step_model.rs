@@ -134,7 +134,9 @@ pub fn model_step(
         _ => Vec::new(),
     };
     let decomposition = match config.partitioner {
-        Partitioner::Slab { axis } => slab_partition(workload.positions, &workload.bounds, ranks, axis),
+        Partitioner::Slab { axis } => {
+            slab_partition(workload.positions, &workload.bounds, ranks, axis)
+        }
         Partitioner::Sfc(kind) => {
             sfc_partition(workload.positions, &workload.bounds, ranks, kind, &weights)
         }
@@ -153,7 +155,8 @@ pub fn model_step(
     }
     let per_rank_compute: Vec<f64> = (0..ranks)
         .map(|r| {
-            let flops = config.cost.rank_flops(sph_per_rank[r], grav_per_rank[r], count_per_rank[r]);
+            let flops =
+                config.cost.rank_flops(sph_per_rank[r], grav_per_rank[r], count_per_rank[r]);
             config.machine.compute_time(flops)
         })
         .collect();
@@ -162,7 +165,12 @@ pub fn model_step(
     let serial = config.machine.compute_time(config.cost.serial_flops(n as f64));
 
     // 4. Halo exchange: per rank, one message per partner plus payload.
-    let halos = halo_sets(workload.positions, &decomposition, workload.interaction_radius, &workload.periodicity);
+    let halos = halo_sets(
+        workload.positions,
+        &decomposition,
+        workload.interaction_radius,
+        &workload.periodicity,
+    );
     let comm = (0..ranks as u32)
         .map(|r| {
             let imported = halos.imports[r as usize].len() as f64;
@@ -201,9 +209,8 @@ mod tests {
 
     fn uniform_workload(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>, Vec<f64>) {
         let mut rng = SplitMix64::new(seed);
-        let pos: Vec<Vec3> = (0..n)
-            .map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()))
-            .collect();
+        let pos: Vec<Vec3> =
+            (0..n).map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64())).collect();
         let sph = vec![100.0; n];
         let grav = vec![0.0; n];
         (pos, sph, grav)
@@ -221,12 +228,7 @@ mod tests {
     }
 
     fn config(partitioner: Partitioner, balancing: LoadBalancing) -> StepModelConfig {
-        StepModelConfig {
-            partitioner,
-            balancing,
-            machine: piz_daint(),
-            cost: CostModel::default(),
-        }
+        StepModelConfig { partitioner, balancing, machine: piz_daint(), cost: CostModel::default() }
     }
 
     #[test]
@@ -280,11 +282,7 @@ mod tests {
             "static LB {} should be poor",
             t_static.load_balance()
         );
-        assert!(
-            t_dyn.load_balance() > 0.9,
-            "dynamic LB {} should be good",
-            t_dyn.load_balance()
-        );
+        assert!(t_dyn.load_balance() > 0.9, "dynamic LB {} should be good", t_dyn.load_balance());
         assert!(t_dyn.total() < t_static.total());
     }
 

@@ -2,15 +2,16 @@
 //! obey the structural laws the scaling analysis relies on.
 
 use proptest::prelude::*;
-use sph_cluster::{model_step, piz_daint, CostModel, LoadBalancing, Partitioner, StepModelConfig, StepWorkload};
+use sph_cluster::{
+    model_step, piz_daint, CostModel, LoadBalancing, Partitioner, StepModelConfig, StepWorkload,
+};
 use sph_math::{Aabb, Periodicity, SplitMix64, Vec3};
 
 fn workload_inputs(n: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<Vec3>, Vec<f64>)> {
     (n, any::<u64>()).prop_map(|(count, seed)| {
         let mut rng = SplitMix64::new(seed);
-        let pos: Vec<Vec3> = (0..count)
-            .map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()))
-            .collect();
+        let pos: Vec<Vec3> =
+            (0..count).map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64())).collect();
         let work: Vec<f64> = (0..count).map(|_| rng.uniform(10.0, 500.0)).collect();
         (pos, work)
     })

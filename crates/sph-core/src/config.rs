@@ -123,7 +123,10 @@ impl SphConfig {
     /// Sanity-check the configuration; returns a human-readable error.
     pub fn validate(&self) -> Result<(), String> {
         if self.target_neighbors < 4 {
-            return Err(format!("target_neighbors {} too small for 3-D SPH", self.target_neighbors));
+            return Err(format!(
+                "target_neighbors {} too small for 3-D SPH",
+                self.target_neighbors
+            ));
         }
         // Up to γ = 7: the stiff Tait-like exponent weakly-compressible
         // CFD codes (SPH-flow) use for water analogues.

@@ -130,10 +130,7 @@ pub fn compute_density(
             h_cap = h_cap.min(span * (0.5 - 1e-9) / SUPPORT_RADIUS);
         }
     }
-    assert!(
-        h_cap > 0.0,
-        "degenerate periodic domain: zero span on a periodic axis"
-    );
+    assert!(h_cap > 0.0, "degenerate periodic domain: zero span on a periodic axis");
 
     let rows: Vec<DensityRow> = active
         .par_iter()
@@ -286,7 +283,13 @@ mod tests {
         for i in 0..sys.len() {
             let p = sys.x[i];
             let margin = 0.25;
-            if p.x > margin && p.x < 1.0 - margin && p.y > margin && p.y < 1.0 - margin && p.z > margin && p.z < 1.0 - margin {
+            if p.x > margin
+                && p.x < 1.0 - margin
+                && p.y > margin
+                && p.y < 1.0 - margin
+                && p.z > margin
+                && p.z < 1.0 - margin
+            {
                 total += 1;
                 let c = lists.neighbors(i).len();
                 if (54..=66).contains(&c) {
@@ -316,7 +319,13 @@ mod tests {
         for i in 0..sys.len() {
             let p = sys.x[i];
             let margin = 0.3;
-            if p.x > margin && p.x < 1.0 - margin && p.y > margin && p.y < 1.0 - margin && p.z > margin && p.z < 1.0 - margin {
+            if p.x > margin
+                && p.x < 1.0 - margin
+                && p.y > margin
+                && p.y < 1.0 - margin
+                && p.z > margin
+                && p.z < 1.0 - margin
+            {
                 assert!(
                     (sys.omega[i] - 1.0).abs() < 0.3,
                     "Ω = {} at interior particle {i}",

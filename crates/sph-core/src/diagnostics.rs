@@ -116,7 +116,7 @@ mod tests {
         let c = Conservation::measure(&sys, None);
         assert_eq!(c.total_mass, 4.0);
         assert!(c.momentum.norm() < 1e-15); // equal and opposite
-        // L = 2·(x × v)·m = 2 × (X × Y)·2 = 4 ẑ per particle → 4+4.
+                                            // L = 2·(x × v)·m = 2 × (X × Y)·2 = 4 ẑ per particle → 4+4.
         assert!((c.angular_momentum.z - 4.0).abs() < 1e-15);
         assert!((c.kinetic_energy - 2.0).abs() < 1e-15); // 2 × ½·2·1
         assert!((c.internal_energy - 2.0).abs() < 1e-15); // 2 × 2·0.5

@@ -197,11 +197,7 @@ mod tests {
         // Scale: P/(ρ h) is the natural acceleration unit here.
         let scale = sys.p[0] / (sys.rho[0] * sys.h[0]);
         for i in 0..sys.len() {
-            assert!(
-                sys.a[i].norm() < 1e-9 * scale,
-                "accel {:?} at {i} (scale {scale})",
-                sys.a[i]
-            );
+            assert!(sys.a[i].norm() < 1e-9 * scale, "accel {:?} at {i} (scale {scale})", sys.a[i]);
         }
     }
 
@@ -224,11 +220,7 @@ mod tests {
         let expected = -(gamma - 1.0) * slope;
         for i in interior(&sys, 0.3) {
             let rel = (sys.a[i].x - expected).abs() / expected.abs();
-            assert!(
-                rel < 0.15,
-                "a_x = {} vs expected {expected} at particle {i}",
-                sys.a[i].x
-            );
+            assert!(rel < 0.15, "a_x = {} vs expected {expected} at particle {i}", sys.a[i].x);
             assert!(sys.a[i].y.abs() < 0.1 * expected.abs());
             assert!(sys.a[i].z.abs() < 0.1 * expected.abs());
         }
@@ -261,17 +253,13 @@ mod tests {
         let mut rng = SplitMix64::new(11);
         for i in 0..sys.len() {
             sys.u[i] = rng.uniform(0.5, 2.0);
-            sys.v[i] = Vec3::new(
-                rng.uniform(-0.2, 0.2),
-                rng.uniform(-0.2, 0.2),
-                rng.uniform(-0.2, 0.2),
-            );
+            sys.v[i] =
+                Vec3::new(rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2));
         }
         let cfg = SphConfig { target_neighbors: 50, ..Default::default() };
         evaluate(&mut sys, &cfg);
-        let de: f64 = (0..sys.len())
-            .map(|i| sys.m[i] * (sys.v[i].dot(sys.a[i]) + sys.du_dt[i]))
-            .sum();
+        let de: f64 =
+            (0..sys.len()).map(|i| sys.m[i] * (sys.v[i].dot(sys.a[i]) + sys.du_dt[i])).sum();
         let scale: f64 = (0..sys.len())
             .map(|i| sys.m[i] * (sys.v[i].dot(sys.a[i]).abs() + sys.du_dt[i].abs()))
             .sum();
@@ -312,10 +300,8 @@ mod tests {
         }
         let cfg = SphConfig { target_neighbors: 60, ..Default::default() };
         evaluate(&mut sys, &cfg);
-        let mid: Vec<usize> = interior(&sys, 0.2)
-            .into_iter()
-            .filter(|&i| (sys.x[i].x - 0.5).abs() < 0.1)
-            .collect();
+        let mid: Vec<usize> =
+            interior(&sys, 0.2).into_iter().filter(|&i| (sys.x[i].x - 0.5).abs() < 0.1).collect();
         assert!(!mid.is_empty());
         let heating: f64 = mid.iter().map(|&i| sys.du_dt[i]).sum::<f64>() / mid.len() as f64;
         assert!(heating > 0.0, "mean du/dt at the interface = {heating}");

@@ -256,7 +256,8 @@ mod tests {
         let a = Vec3::new(2.0, -1.0, 0.5);
         let f: Vec<f64> = sys.x.iter().map(|&p| a.dot(p) + 3.0).collect();
         let active: Vec<u32> = (0..sys.len() as u32).collect();
-        let grads = scalar_gradient(&sys, &lists, kernel.as_ref(), GradientScheme::Iad, &active, &f);
+        let grads =
+            scalar_gradient(&sys, &lists, kernel.as_ref(), GradientScheme::Iad, &active, &f);
         for i in interior(&sys, 0.3) {
             let err = (grads[i] - a).norm() / a.norm();
             assert!(err < 1e-10, "particle {i}: IAD gradient error {err}");
@@ -335,11 +336,7 @@ mod tests {
         compute_velocity_gradients(&mut sys, &lists, kernel.as_ref(), GradientScheme::Iad, &active);
         for i in interior(&sys, 0.3) {
             assert!(sys.div_v[i].abs() < 1e-9, "div {} at {i}", sys.div_v[i]);
-            assert!(
-                (sys.curl_v[i] - 2.0 * omega).abs() < 1e-8,
-                "curl {} at {i}",
-                sys.curl_v[i]
-            );
+            assert!((sys.curl_v[i] - 2.0 * omega).abs() < 1e-8, "curl {} at {i}", sys.curl_v[i]);
         }
     }
 

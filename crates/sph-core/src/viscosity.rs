@@ -89,8 +89,32 @@ mod tests {
     #[test]
     fn viscosity_grows_with_approach_speed() {
         let d = Vec3::new(1.0, 0.0, 0.0);
-        let slow = pair_viscosity(&cfg(), d, Vec3::new(-0.1, 0.0, 0.0), 0.1, 0.1, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0);
-        let fast = pair_viscosity(&cfg(), d, Vec3::new(-1.0, 0.0, 0.0), 0.1, 0.1, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0);
+        let slow = pair_viscosity(
+            &cfg(),
+            d,
+            Vec3::new(-0.1, 0.0, 0.0),
+            0.1,
+            0.1,
+            1.0,
+            1.0,
+            1.0,
+            1.0,
+            1.0,
+            1.0,
+        );
+        let fast = pair_viscosity(
+            &cfg(),
+            d,
+            Vec3::new(-1.0, 0.0, 0.0),
+            0.1,
+            0.1,
+            1.0,
+            1.0,
+            1.0,
+            1.0,
+            1.0,
+            1.0,
+        );
         assert!(fast > slow);
     }
 

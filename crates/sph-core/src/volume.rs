@@ -145,7 +145,13 @@ mod tests {
         for i in 0..sys.len() {
             let p = sys.x[i];
             let margin = 0.3;
-            if p.x > margin && p.x < 1.0 - margin && p.y > margin && p.y < 1.0 - margin && p.z > margin && p.z < 1.0 - margin {
+            if p.x > margin
+                && p.x < 1.0 - margin
+                && p.y > margin
+                && p.y < 1.0 - margin
+                && p.z > margin
+                && p.z < 1.0 - margin
+            {
                 assert!(
                     (sys.vol[i] - cell).abs() < 0.05 * cell,
                     "V = {} vs cell {cell}",

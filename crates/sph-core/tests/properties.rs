@@ -4,7 +4,9 @@ use proptest::prelude::*;
 use sph_core::config::{SphConfig, ViscosityConfig};
 use sph_core::eos::IdealGas;
 use sph_core::particles::ParticleSystem;
-use sph_core::timestep::{assign_rungs, block_step_work_ratio, global_dt, per_particle_dt, rung_is_active};
+use sph_core::timestep::{
+    assign_rungs, block_step_work_ratio, global_dt, per_particle_dt, rung_is_active,
+};
 use sph_core::viscosity::{balsara_factor, pair_viscosity};
 use sph_math::{Aabb, Periodicity, Vec3};
 

@@ -108,9 +108,7 @@ mod tests {
 
     fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
         let mut rng = SplitMix64::new(seed);
-        (0..n)
-            .map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()))
-            .collect()
+        (0..n).map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64())).collect()
     }
 
     #[test]

@@ -29,11 +29,8 @@ impl DecompositionMetrics {
     pub fn compute(decomp: &Decomposition, weights: &[f64], halos: &HaloExchange) -> Self {
         let n = decomp.assignment.len();
         let count_imbalance = decomp.imbalance();
-        let load_imbalance = if weights.is_empty() {
-            count_imbalance
-        } else {
-            decomp.weighted_imbalance(weights)
-        };
+        let load_imbalance =
+            if weights.is_empty() { count_imbalance } else { decomp.weighted_imbalance(weights) };
         let halo_fraction = halos.total_volume() as f64 / n as f64;
         let nparts = decomp.nparts;
         let mut partners = 0usize;
@@ -82,7 +79,11 @@ mod tests {
         (0..n)
             .map(|_| {
                 let r = rng.next_f64().powi(3) * 0.5;
-                let d = Vec3::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+                let d = Vec3::new(
+                    rng.uniform(-1.0, 1.0),
+                    rng.uniform(-1.0, 1.0),
+                    rng.uniform(-1.0, 1.0),
+                );
                 Vec3::splat(0.5) + d.normalized().unwrap_or(Vec3::X) * r
             })
             .collect()

@@ -86,7 +86,14 @@ fn split(
         // Degenerate case: no particles left for the right side — assign
         // nothing (those ranks stay empty) rather than panicking.
         if !right.is_empty() {
-            split(positions, weights, right, first_rank + left_parts as u32, right_parts, assignment);
+            split(
+                positions,
+                weights,
+                right,
+                first_rank + left_parts as u32,
+                right_parts,
+                assignment,
+            );
         }
     }
 }
@@ -112,9 +119,7 @@ mod tests {
 
     fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
         let mut rng = SplitMix64::new(seed);
-        (0..n)
-            .map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()))
-            .collect()
+        (0..n).map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64())).collect()
     }
 
     #[test]

@@ -48,11 +48,8 @@ pub fn sfc_partition(
         .collect();
     keyed.sort_unstable();
 
-    let total_weight: f64 = if weights.is_empty() {
-        positions.len() as f64
-    } else {
-        weights.iter().sum()
-    };
+    let total_weight: f64 =
+        if weights.is_empty() { positions.len() as f64 } else { weights.iter().sum() };
     let target = total_weight / nparts as f64;
 
     let mut assignment = vec![0u32; positions.len()];
@@ -79,9 +76,7 @@ mod tests {
 
     fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
         let mut rng = SplitMix64::new(seed);
-        (0..n)
-            .map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()))
-            .collect()
+        (0..n).map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64())).collect()
     }
 
     #[test]
@@ -152,12 +147,7 @@ mod tests {
             }
             areas.push(total / nparts as f64);
         }
-        assert!(
-            areas[0] < areas[1],
-            "hilbert {} should beat morton {}",
-            areas[0],
-            areas[1]
-        );
+        assert!(areas[0] < areas[1], "hilbert {} should beat morton {}", areas[0], areas[1]);
     }
 
     #[test]

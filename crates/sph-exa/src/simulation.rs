@@ -152,16 +152,16 @@ impl Simulation {
 
         // Phase A: build the tree.
         let bounds = sys.bounds();
-        let tree = self.timers.time(Phase::TreeBuild, || {
-            Octree::build(&sys.x, &bounds, OctreeConfig::default())
-        });
+        let tree = self
+            .timers
+            .time(Phase::TreeBuild, || Octree::build(&sys.x, &bounds, OctreeConfig::default()));
 
         // Phases B–E: neighbours, smoothing lengths, density.
         let kernel = self.kernel.as_ref();
         let config = &self.config;
-        let (lists, dstats) = self.timers.time(Phase::Density, || {
-            compute_density(sys, &tree, kernel, config, active)
-        });
+        let (lists, dstats) = self
+            .timers
+            .time(Phase::Density, || compute_density(sys, &tree, kernel, config, active));
         stats.merge(&dstats);
 
         // Phase F: volume elements, IAD matrices, EOS, velocity gradients.
@@ -179,9 +179,9 @@ impl Simulation {
         // active subset keeps its gather lists, as block-stepping codes do.
         let full_system = active.len() == sys.len();
         let force_lists: NeighborLists = if full_system { lists.symmetrized() } else { lists };
-        let pair_count = self.timers.time(Phase::Momentum, || {
-            compute_forces(sys, &force_lists, kernel, config, active)
-        });
+        let pair_count = self
+            .timers
+            .time(Phase::Momentum, || compute_forces(sys, &force_lists, kernel, config, active));
         stats.sph_interactions += pair_count;
 
         // Phase I: self-gravity.
@@ -240,7 +240,8 @@ impl Simulation {
 
         match self.config.time_stepping {
             TimeStepping::Global | TimeStepping::Adaptive { .. } => {
-                let dts = self.timers.time(Phase::Update, || per_particle_dt(&self.sys, &self.config));
+                let dts =
+                    self.timers.time(Phase::Update, || per_particle_dt(&self.sys, &self.config));
                 let dt = match self.config.time_stepping {
                     TimeStepping::Adaptive { growth_limit } => {
                         adaptive_dt(&dts, self.dt_prev, growth_limit)
@@ -344,11 +345,8 @@ mod tests {
         let mut rng = SplitMix64::new(seed);
         let mut x = Vec::new();
         while x.len() < n_target {
-            let p = Vec3::new(
-                rng.uniform(-1.0, 1.0),
-                rng.uniform(-1.0, 1.0),
-                rng.uniform(-1.0, 1.0),
-            );
+            let p =
+                Vec3::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
             if p.norm() <= 1.0 {
                 x.push(p);
             }
@@ -429,17 +427,10 @@ mod tests {
         for u in sys.u.iter_mut() {
             *u = 0.001; // nearly cold
         }
-        let gravity = GravityConfig {
-            g: 1.0,
-            theta: 0.6,
-            softening: 0.05,
-            order: MultipoleOrder::Monopole,
-        };
-        let mut sim = SimulationBuilder::new(sys)
-            .config(quick_config())
-            .gravity(gravity)
-            .build()
-            .unwrap();
+        let gravity =
+            GravityConfig { g: 1.0, theta: 0.6, softening: 0.05, order: MultipoleOrder::Monopole };
+        let mut sim =
+            SimulationBuilder::new(sys).config(quick_config()).gravity(gravity).build().unwrap();
         sim.step(); // populates potentials
         let c0 = sim.conservation();
         assert!(c0.gravitational_energy < 0.0);

@@ -140,7 +140,11 @@ pub fn encode(sys: &ParticleSystem) -> Vec<u8> {
     // Boundary metric.
     w.vec3(sys.periodicity.domain.lo);
     w.vec3(sys.periodicity.domain.hi);
-    w.u32(u32::from(sys.periodicity.periodic[0]) | (u32::from(sys.periodicity.periodic[1]) << 1) | (u32::from(sys.periodicity.periodic[2]) << 2));
+    w.u32(
+        u32::from(sys.periodicity.periodic[0])
+            | (u32::from(sys.periodicity.periodic[1]) << 1)
+            | (u32::from(sys.periodicity.periodic[2]) << 2),
+    );
     // Field blocks.
     w.vec3s(&sys.x);
     w.vec3s(&sys.v);
@@ -197,10 +201,8 @@ pub fn decode(bytes: &[u8]) -> Result<ParticleSystem, CodecError> {
     } else {
         return Err(CodecError::Malformed("inverted domain box"));
     };
-    let periodicity = Periodicity {
-        domain,
-        periodic: [pbits & 1 != 0, pbits & 2 != 0, pbits & 4 != 0],
-    };
+    let periodicity =
+        Periodicity { domain, periodic: [pbits & 1 != 0, pbits & 2 != 0, pbits & 4 != 0] };
     let x = r.vec3s()?;
     let v = r.vec3s()?;
     let m = r.f64s()?;
@@ -215,10 +217,23 @@ pub fn decode(bytes: &[u8]) -> Result<ParticleSystem, CodecError> {
     let curl_v = r.f64s()?;
     let rung_len = r.u64()? as usize;
     let rung = r.take(rung_len)?.to_vec();
-    if [x.len(), v.len(), m.len(), h.len(), rho.len(), u.len(), a.len(), du_dt.len(),
-        p.len(), cs.len(), div_v.len(), curl_v.len(), rung.len()]
-        .iter()
-        .any(|&l| l != n)
+    if [
+        x.len(),
+        v.len(),
+        m.len(),
+        h.len(),
+        rho.len(),
+        u.len(),
+        a.len(),
+        du_dt.len(),
+        p.len(),
+        cs.len(),
+        div_v.len(),
+        curl_v.len(),
+        rung.len(),
+    ]
+    .iter()
+    .any(|&l| l != n)
     {
         return Err(CodecError::Malformed("field length mismatch"));
     }

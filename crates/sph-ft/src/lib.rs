@@ -28,6 +28,8 @@ pub mod sdc;
 
 pub use checkpoint::{CheckpointStore, DiskStore, MemoryStore};
 pub use daly::{daly_interval, expected_waste};
-pub use multilevel::{simulate_run, CheckpointLevel, FailureInjector, MultilevelConfig, RunOutcome};
+pub use multilevel::{
+    simulate_run, CheckpointLevel, FailureInjector, MultilevelConfig, RunOutcome,
+};
 pub use scheduler::CheckpointScheduler;
 pub use sdc::{ChecksumDetector, SdcDetector, SdcInjector};

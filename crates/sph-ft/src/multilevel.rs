@@ -43,9 +43,24 @@ impl MultilevelConfig {
     pub fn three_tier(step_time: f64) -> Self {
         MultilevelConfig {
             levels: vec![
-                CheckpointLevel { level: 1, write_cost: 0.1 * step_time, restore_cost: 0.1 * step_time, interval_steps: 5 },
-                CheckpointLevel { level: 2, write_cost: 0.5 * step_time, restore_cost: 0.6 * step_time, interval_steps: 25 },
-                CheckpointLevel { level: 3, write_cost: 4.0 * step_time, restore_cost: 5.0 * step_time, interval_steps: 100 },
+                CheckpointLevel {
+                    level: 1,
+                    write_cost: 0.1 * step_time,
+                    restore_cost: 0.1 * step_time,
+                    interval_steps: 5,
+                },
+                CheckpointLevel {
+                    level: 2,
+                    write_cost: 0.5 * step_time,
+                    restore_cost: 0.6 * step_time,
+                    interval_steps: 25,
+                },
+                CheckpointLevel {
+                    level: 3,
+                    write_cost: 4.0 * step_time,
+                    restore_cost: 5.0 * step_time,
+                    interval_steps: 100,
+                },
             ],
         }
     }
@@ -310,7 +325,12 @@ mod tests {
     fn misordered_levels_rejected() {
         let cfg = MultilevelConfig {
             levels: vec![
-                CheckpointLevel { level: 2, write_cost: 1.0, restore_cost: 1.0, interval_steps: 10 },
+                CheckpointLevel {
+                    level: 2,
+                    write_cost: 1.0,
+                    restore_cost: 1.0,
+                    interval_steps: 10,
+                },
                 CheckpointLevel { level: 1, write_cost: 1.0, restore_cost: 1.0, interval_steps: 5 },
             ],
         };

@@ -212,9 +212,8 @@ mod tests {
     fn sample() -> ParticleSystem {
         let n = 64;
         let mut rng = SplitMix64::new(5);
-        let x: Vec<Vec3> = (0..n)
-            .map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()))
-            .collect();
+        let x: Vec<Vec3> =
+            (0..n).map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64())).collect();
         let v: Vec<Vec3> = (0..n)
             .map(|_| Vec3::new(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), 0.0))
             .collect();
@@ -284,7 +283,8 @@ mod tests {
 
     #[test]
     fn abft_sum_accepts_clean_and_rejects_corrupt() {
-        let values: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 1000) as f64 * 0.001 - 0.3).collect();
+        let values: Vec<f64> =
+            (0..10_000).map(|i| ((i * 37) % 1000) as f64 * 0.001 - 0.3).collect();
         let ok = abft_redundant_sum(&values, 1e-10).expect("clean sum accepted");
         assert!((ok - values.iter().sum::<f64>()).abs() < 1e-6);
         // Simulate a corrupted reduction by perturbing one addend between

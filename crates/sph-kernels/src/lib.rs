@@ -136,7 +136,8 @@ mod tests {
     use quadrature::integrate_radial_3d;
 
     fn all_kernels() -> Vec<Box<dyn Kernel>> {
-        let mut v: Vec<Box<dyn Kernel>> = KernelKind::all().into_iter().map(|k| k.build()).collect();
+        let mut v: Vec<Box<dyn Kernel>> =
+            KernelKind::all().into_iter().map(|k| k.build()).collect();
         v.push(Box::new(SincKernel::new(3)));
         v.push(Box::new(SincKernel::new(7)));
         v
@@ -148,11 +149,7 @@ mod tests {
         for k in all_kernels() {
             for &h in &[0.5, 1.0, 2.3] {
                 let integral = integrate_radial_3d(|r| k.w(r, h), SUPPORT_RADIUS * h, 4096);
-                assert!(
-                    (integral - 1.0).abs() < 1e-6,
-                    "{} h={h}: ∫W dV = {integral}",
-                    k.name()
-                );
+                assert!((integral - 1.0).abs() < 1e-6, "{} h={h}: ∫W dV = {integral}", k.name());
             }
         }
     }
@@ -179,11 +176,7 @@ mod tests {
             for i in 1..=100 {
                 let q = i as f64 * 0.02;
                 let w = k.w_shape(q);
-                assert!(
-                    w <= prev + 1e-12,
-                    "{} increases at q={q}: {w} > {prev}",
-                    k.name()
-                );
+                assert!(w <= prev + 1e-12, "{} increases at q={q}: {w} > {prev}", k.name());
                 prev = w;
             }
         }
@@ -259,12 +252,7 @@ mod tests {
         for k in all_kernels() {
             let w1 = k.w(0.0, 1.0);
             let w2 = k.w(0.0, 2.0);
-            assert!(
-                (w1 / w2 - 8.0).abs() < 1e-10,
-                "{}: W(0,1)/W(0,2) = {}",
-                k.name(),
-                w1 / w2
-            );
+            assert!((w1 / w2 - 8.0).abs() < 1e-10, "{}: W(0,1)/W(0,2) = {}", k.name(), w1 / w2);
         }
     }
 }

@@ -142,12 +142,7 @@ mod tests {
         // their b₃ᴰ for n=3 is 0.02529… × something — we verify against our
         // own quadrature at double resolution instead, plus a sanity window).
         let k = SincKernel::new(3);
-        let fine = simpson(
-            |q| sinc(FRAC_PI_2 * q).powi(3) * q * q,
-            0.0,
-            2.0,
-            65536,
-        );
+        let fine = simpson(|q| sinc(FRAC_PI_2 * q).powi(3) * q * q, 0.0, 2.0, 65536);
         let sigma_fine = 1.0 / (4.0 * PI * fine);
         assert!((k.sigma() - sigma_fine).abs() < 1e-10);
         assert!(k.sigma() > 0.2 && k.sigma() < 0.35, "σ₃ = {}", k.sigma());

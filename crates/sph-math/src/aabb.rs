@@ -17,10 +17,7 @@ pub struct Aabb {
 impl Aabb {
     /// Construct from corners; panics if any `lo` component exceeds `hi`.
     pub fn new(lo: Vec3, hi: Vec3) -> Self {
-        assert!(
-            lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z,
-            "invalid AABB: lo {lo:?} hi {hi:?}"
-        );
+        assert!(lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z, "invalid AABB: lo {lo:?} hi {hi:?}");
         Aabb { lo, hi }
     }
 
@@ -198,11 +195,7 @@ mod tests {
         let b = Aabb::unit();
         assert_eq!(b.dist_sq_to_point(Vec3::splat(0.5)), 0.0);
         assert!(crate::approx_eq(b.dist_sq_to_point(Vec3::new(2.0, 0.5, 0.5)), 1.0, 1e-15));
-        assert!(crate::approx_eq(
-            b.dist_sq_to_point(Vec3::new(2.0, 2.0, 0.5)),
-            2.0,
-            1e-15
-        ));
+        assert!(crate::approx_eq(b.dist_sq_to_point(Vec3::new(2.0, 2.0, 0.5)), 2.0, 1e-15));
     }
 
     #[test]

@@ -25,9 +25,7 @@ impl Default for Mat3 {
 
 impl Mat3 {
     pub const ZERO: Mat3 = Mat3 { m: [[0.0; 3]; 3] };
-    pub const IDENTITY: Mat3 = Mat3 {
-        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
-    };
+    pub const IDENTITY: Mat3 = Mat3 { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
 
     #[inline]
     pub const fn new(m: [[f64; 3]; 3]) -> Self {

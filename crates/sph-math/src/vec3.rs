@@ -5,7 +5,9 @@
 //! can keep it in registers and auto-vectorise the particle loops.
 
 use std::iter::Sum;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// Three-dimensional vector of `f64`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]

@@ -88,6 +88,9 @@ mod tests {
         let m = pop_metrics(&t, None);
         let row = pop_to_csv_row(48, &m);
         assert!(row.starts_with("48,"));
-        assert_eq!(row.trim_end().split(',').count(), pop_csv_header().trim_end().split(',').count());
+        assert_eq!(
+            row.trim_end().split(',').count(),
+            pop_csv_header().trim_end().split(',').count()
+        );
     }
 }

@@ -55,7 +55,13 @@ impl Trace {
 
     /// Convenience: append a span starting where the worker's last span
     /// ended (or 0), with the given duration. Returns the new end time.
-    pub fn append(&mut self, worker: usize, phase: Phase, state: WorkerState, duration: f64) -> f64 {
+    pub fn append(
+        &mut self,
+        worker: usize,
+        phase: Phase,
+        state: WorkerState,
+        duration: f64,
+    ) -> f64 {
         let start = self.end_of(worker);
         let span = Span { phase, state, start, end: start + duration };
         self.push(worker, span);
@@ -91,11 +97,7 @@ impl Trace {
 
     /// Time a worker spends in a given state.
     pub fn state_time(&self, worker: usize, state: WorkerState) -> f64 {
-        self.workers[worker]
-            .iter()
-            .filter(|s| s.state == state)
-            .map(Span::duration)
-            .sum()
+        self.workers[worker].iter().filter(|s| s.state == state).map(Span::duration).sum()
     }
 
     /// Total useful time across workers.

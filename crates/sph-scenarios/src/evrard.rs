@@ -113,10 +113,7 @@ mod tests {
         let cfg = EvrardConfig { n_target: 5000, ..Default::default() };
         let sys = evrard_collapse(&cfg);
         let n = sys.len();
-        assert!(
-            (n as f64 - 5000.0).abs() < 0.25 * 5000.0,
-            "count {n} too far from target"
-        );
+        assert!((n as f64 - 5000.0).abs() < 0.25 * 5000.0, "count {n} too far from target");
         assert!((sys.total_mass() - cfg.mass).abs() < 1e-12);
     }
 
@@ -157,10 +154,14 @@ mod tests {
         let sys = evrard_collapse(&cfg);
         // Count particles in shells and compare to ρ(r)·V_shell.
         for &(r0, r1) in &[(0.2, 0.3), (0.4, 0.5), (0.6, 0.7)] {
-            let count = sys.x.iter().filter(|p| {
-                let r = p.norm();
-                r >= r0 && r < r1
-            }).count();
+            let count = sys
+                .x
+                .iter()
+                .filter(|p| {
+                    let r = p.norm();
+                    r >= r0 && r < r1
+                })
+                .count();
             let shell_mass = count as f64 * sys.m[0];
             // ∫ ρ 4πr² dr over the shell = M (r1²−r0²)/R².
             let expected = cfg.mass * (r1 * r1 - r0 * r0) / (cfg.radius * cfg.radius);

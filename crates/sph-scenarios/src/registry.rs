@@ -27,7 +27,8 @@ pub fn scenario_table() -> Vec<ScenarioInfo> {
         ScenarioInfo {
             name: "Evrard Collapse",
             reference: "Evrard 1988",
-            description: "Adiabatic collapse of an initially cold and static gas sphere (w/ self-gravity)",
+            description:
+                "Adiabatic collapse of an initially cold and static gas sphere (w/ self-gravity)",
             domain: "3D, 10^6 particles",
             simulation_length: "20 time-steps",
             codes: "SPHYNX, ChaNGa",

@@ -137,9 +137,8 @@ mod tests {
     /// Random (Poisson) particles — the noisiest possible start.
     fn random_gas(n: usize, seed: u64) -> ParticleSystem {
         let mut rng = SplitMix64::new(seed);
-        let x: Vec<Vec3> = (0..n)
-            .map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()))
-            .collect();
+        let x: Vec<Vec3> =
+            (0..n).map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64())).collect();
         ParticleSystem::new(
             x,
             vec![Vec3::ZERO; n],

@@ -126,7 +126,8 @@ pub fn square_patch(cfg: &SquarePatchConfig) -> ParticleSystem {
                 // Rigid rotation about the square axis (centre of the XY
                 // plane): vx = ω(y−c), vy = −ω(x−c) — §5.1 eq. (1).
                 v.push(Vec3::new(cfg.omega * (py - half), -cfg.omega * (px - half), 0.0));
-                let p0 = square_patch_pressure(px, py, cfg.side, cfg.rho0, cfg.omega, cfg.series_terms);
+                let p0 =
+                    square_patch_pressure(px, py, cfg.side, cfg.rho0, cfg.omega, cfg.series_terms);
                 u.push(eos.energy_from_pressure(cfg.rho0, p0 + p_back));
             }
         }
@@ -178,7 +179,8 @@ mod tests {
         let p = |x: f64, y: f64| square_patch_pressure(x, y, side, rho, omega, terms);
         let h = 1e-4;
         for &(x, y) in &[(0.3, 0.4), (0.5, 0.5), (0.7, 0.2), (0.25, 0.75)] {
-            let lap = (p(x + h, y) + p(x - h, y) + p(x, y + h) + p(x, y - h) - 4.0 * p(x, y)) / (h * h);
+            let lap =
+                (p(x + h, y) + p(x - h, y) + p(x, y + h) + p(x, y - h) - 4.0 * p(x, y)) / (h * h);
             let expected = 2.0 * rho * omega * omega;
             assert!(
                 (lap - expected).abs() < 0.02 * expected,
@@ -257,9 +259,6 @@ mod tests {
         let height = cfg.side / cfg.nx as f64 * cfg.nz as f64;
         let inertia = cfg.rho0 * height * cfg.side.powi(4) / 6.0;
         let expected = -inertia * cfg.omega; // vx=ωy, vy=−ωx spins clockwise
-        assert!(
-            (lz - expected).abs() < 0.01 * expected.abs(),
-            "L_z = {lz}, rigid body {expected}"
-        );
+        assert!((lz - expected).abs() < 0.01 * expected.abs(), "L_z = {lz}, rigid body {expected}");
     }
 }

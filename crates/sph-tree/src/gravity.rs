@@ -95,8 +95,7 @@ impl<'a> GravitySolver<'a> {
     pub fn new(tree: &'a Octree, masses: &[f64], config: GravityConfig) -> Self {
         assert_eq!(masses.len(), tree.len(), "masses/positions length mismatch");
         assert!(config.theta > 0.0, "θ must be positive");
-        let masses_sorted: Vec<f64> =
-            tree.order().iter().map(|&i| masses[i as usize]).collect();
+        let masses_sorted: Vec<f64> = tree.order().iter().map(|&i| masses[i as usize]).collect();
 
         // Bottom-up moment computation via post-order accumulation with the
         // parallel-axis shift — O(nodes) instead of O(N log N).
@@ -327,9 +326,8 @@ mod tests {
 
     fn random_system(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
         let mut rng = SplitMix64::new(seed);
-        let pos: Vec<Vec3> = (0..n)
-            .map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()))
-            .collect();
+        let pos: Vec<Vec3> =
+            (0..n).map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64())).collect();
         let masses: Vec<f64> = (0..n).map(|_| rng.uniform(0.5, 1.5) / n as f64).collect();
         (pos, masses)
     }
@@ -340,11 +338,7 @@ mod tests {
         theta: f64,
         order: MultipoleOrder,
     ) -> GravitySolver<'a> {
-        GravitySolver::new(
-            tree,
-            masses,
-            GravityConfig { g: 1.0, theta, softening: 1e-3, order },
-        )
+        GravitySolver::new(tree, masses, GravityConfig { g: 1.0, theta, softening: 1e-3, order })
     }
 
     #[test]
@@ -394,10 +388,7 @@ mod tests {
                 let rel = (bh.accel - exact.accel).norm() / exact.accel.norm().max(1e-12);
                 max_rel = max_rel.max(rel);
             }
-            assert!(
-                max_rel < tol,
-                "θ={theta} {order:?}: max rel accel error {max_rel} ≥ {tol}"
-            );
+            assert!(max_rel < tol, "θ={theta} {order:?}: max rel accel error {max_rel} ≥ {tol}");
         }
     }
 
@@ -414,7 +405,9 @@ mod tests {
         );
         let theta = 0.5;
         let mut errs = Vec::new();
-        for order in [MultipoleOrder::Monopole, MultipoleOrder::Quadrupole, MultipoleOrder::Octupole] {
+        for order in
+            [MultipoleOrder::Monopole, MultipoleOrder::Quadrupole, MultipoleOrder::Octupole]
+        {
             let solver = build_solver(&tree, &masses, theta, order);
             let mut err = 0.0;
             let mut st = TraversalStats::default();
@@ -512,18 +505,11 @@ mod tests {
         );
         let solver = build_solver(&tree, &masses, 0.4, MultipoleOrder::Quadrupole);
         let (samples, _) = solver.accelerations(&pos);
-        let net: Vec3 = samples
-            .iter()
-            .zip(&masses)
-            .map(|(s, &m)| s.accel * m)
-            .fold(Vec3::ZERO, |a, b| a + b);
+        let net: Vec3 =
+            samples.iter().zip(&masses).map(|(s, &m)| s.accel * m).fold(Vec3::ZERO, |a, b| a + b);
         // Scale: typical |m a| ~ G m²/r² ~ (1/300)² × 300 pairs ≈ 1e-3.
-        let typical: f64 = samples
-            .iter()
-            .zip(&masses)
-            .map(|(s, &m)| (s.accel * m).norm())
-            .sum::<f64>()
-            / 300.0;
+        let typical: f64 =
+            samples.iter().zip(&masses).map(|(s, &m)| (s.accel * m).norm()).sum::<f64>() / 300.0;
         assert!(
             net.norm() < 0.05 * typical * 300.0_f64.sqrt(),
             "net force {net:?} too large vs typical {typical}"

@@ -77,11 +77,7 @@ pub fn decode_point(key: u64, bounds: &Aabb) -> Vec3 {
     let (ix, iy, iz) = decode_cell(key);
     let e = bounds.extent();
     let f = |i: u64, lo: f64, span: f64| lo + (i as f64 + 0.5) / CELLS_PER_AXIS as f64 * span;
-    Vec3::new(
-        f(ix, bounds.lo.x, e.x),
-        f(iy, bounds.lo.y, e.y),
-        f(iz, bounds.lo.z, e.z),
-    )
+    Vec3::new(f(ix, bounds.lo.x, e.x), f(iy, bounds.lo.y, e.y), f(iz, bounds.lo.z, e.z))
 }
 
 #[cfg(test)]

@@ -136,9 +136,7 @@ mod tests {
 
     fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
         let mut rng = SplitMix64::new(seed);
-        (0..n)
-            .map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()))
-            .collect()
+        (0..n).map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64())).collect()
     }
 
     /// Brute-force reference with the same periodic metric.
@@ -186,7 +184,8 @@ mod tests {
         let mut rng = SplitMix64::new(88);
         for _ in 0..50 {
             // Bias queries toward the z faces to stress the wrap.
-            let z = if rng.next_f64() < 0.5 { rng.uniform(0.0, 0.1) } else { rng.uniform(0.9, 1.0) };
+            let z =
+                if rng.next_f64() < 0.5 { rng.uniform(0.0, 0.1) } else { rng.uniform(0.9, 1.0) };
             let c = Vec3::new(rng.next_f64(), rng.next_f64(), z);
             let r = rng.uniform(0.02, 0.15);
             let mut found = Vec::new();

@@ -134,8 +134,7 @@ impl Octree {
         for oct in 0..8u64 {
             // Upper bound of keys whose octant bits at `shift` equal `oct`.
             let range = &keys[cursor..end];
-            let split = cursor
-                + range.partition_point(|&k| (k >> shift) & 0b111 <= oct);
+            let split = cursor + range.partition_point(|&k| (k >> shift) & 0b111 <= oct);
             if split > cursor {
                 let child_idx = self.nodes.len() as u32;
                 self.nodes.push(Node {
@@ -161,8 +160,8 @@ impl Octree {
     fn compute_tight_boxes(&mut self, node: usize) -> Aabb {
         if self.nodes[node].is_leaf() {
             let (s, e) = (self.nodes[node].start as usize, self.nodes[node].end as usize);
-            let tight = Aabb::from_points(self.sorted_pos[s..e].iter())
-                .unwrap_or(self.nodes[node].cell);
+            let tight =
+                Aabb::from_points(self.sorted_pos[s..e].iter()).unwrap_or(self.nodes[node].cell);
             self.nodes[node].tight = tight;
             return tight;
         }
@@ -229,9 +228,7 @@ mod tests {
 
     fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
         let mut rng = SplitMix64::new(seed);
-        (0..n)
-            .map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()))
-            .collect()
+        (0..n).map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64())).collect()
     }
 
     fn build(n: usize, leaf: usize) -> (Vec<Vec3>, Octree) {
@@ -260,12 +257,8 @@ mod tests {
     #[test]
     fn leaves_partition_the_particle_range() {
         let (_, tree) = build(1000, 16);
-        let mut ranges: Vec<(u32, u32)> = tree
-            .nodes()
-            .iter()
-            .filter(|n| n.is_leaf())
-            .map(|n| (n.start, n.end))
-            .collect();
+        let mut ranges: Vec<(u32, u32)> =
+            tree.nodes().iter().filter(|n| n.is_leaf()).map(|n| (n.start, n.end)).collect();
         ranges.sort_unstable();
         let mut cursor = 0;
         for (s, e) in ranges {

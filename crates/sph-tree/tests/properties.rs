@@ -5,7 +5,10 @@
 use proptest::prelude::*;
 use sph_math::{Aabb, Periodicity, Vec3};
 use sph_tree::gravity::direct_field;
-use sph_tree::{GravityConfig, GravitySolver, MultipoleOrder, NeighborSearch, Octree, OctreeConfig, TraversalStats};
+use sph_tree::{
+    GravityConfig, GravitySolver, MultipoleOrder, NeighborSearch, Octree, OctreeConfig,
+    TraversalStats,
+};
 
 fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec3>> {
     prop::collection::vec(

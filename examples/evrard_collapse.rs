@@ -76,10 +76,8 @@ fn main() {
 
 fn central_density(sim: &sph_exa_repro::exa::Simulation) -> f64 {
     let sys = &sim.sys;
-    let core: Vec<f64> = (0..sys.len())
-        .filter(|&i| sys.x[i].norm() < 0.1)
-        .map(|i| sys.rho[i])
-        .collect();
+    let core: Vec<f64> =
+        (0..sys.len()).filter(|&i| sys.x[i].norm() < 0.1).map(|i| sys.rho[i]).collect();
     if core.is_empty() {
         f64::NAN
     } else {

@@ -22,8 +22,7 @@ fn main() {
         "code", "dt", "interactions", "h-iters", "wall(s)", "96-core model"
     );
     for setup in [sphynx(), changa(), sphflow(), miniapp()] {
-        let cfg =
-            SquarePatchConfig { nx, nz: nx, gamma: setup.sph.gamma, ..Default::default() };
+        let cfg = SquarePatchConfig { nx, nz: nx, gamma: setup.sph.gamma, ..Default::default() };
         let sys = square_patch(&cfg);
         let mut sim = sph_exa_repro::exa::SimulationBuilder::new(sys)
             .config(setup.sph)

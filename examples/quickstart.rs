@@ -24,10 +24,10 @@ fn main() {
     let count = positions.len();
     let system = ParticleSystem::new(
         positions,
-        vec![Vec3::ZERO; count],          // at rest
-        vec![1.0 / count as f64; count],  // equal masses
-        vec![0.5; count],                 // specific internal energy
-        0.2,                              // initial smoothing length guess
+        vec![Vec3::ZERO; count],         // at rest
+        vec![1.0 / count as f64; count], // equal masses
+        vec![0.5; count],                // specific internal energy
+        0.2,                             // initial smoothing length guess
         Periodicity::open(Aabb::cube(Vec3::ZERO, 2.0)),
     );
 

@@ -44,14 +44,9 @@ fn main() {
     println!("\nstep     dt       time     Lz/Lz0    P<Pback    max|ρ-ρ0|/ρ0");
     for step in 1..=20 {
         sim.step();
-        let neg_p =
-            sim.sys.p.iter().filter(|&&p| p < p_back).count() as f64 / sim.sys.len() as f64;
-        let max_drho = sim
-            .sys
-            .rho
-            .iter()
-            .map(|&r| (r - cfg.rho0).abs() / cfg.rho0)
-            .fold(0.0, f64::max);
+        let neg_p = sim.sys.p.iter().filter(|&&p| p < p_back).count() as f64 / sim.sys.len() as f64;
+        let max_drho =
+            sim.sys.rho.iter().map(|&r| (r - cfg.rho0).abs() / cfg.rho0).fold(0.0, f64::max);
         let lz = angular_momentum_z(&sim, axis);
         if step % 2 == 0 {
             println!(
@@ -71,11 +66,7 @@ fn main() {
     println!("  angular momentum ratio {:.6}", angular_momentum_z(&sim, axis) / lz0);
     println!(
         "  the free surface survives: {} of {} particles stayed within 1.5 side lengths",
-        sim.sys
-            .x
-            .iter()
-            .filter(|p| (p.x - 0.5).abs() < 1.5 && (p.y - 0.5).abs() < 1.5)
-            .count(),
+        sim.sys.x.iter().filter(|p| (p.x - 0.5).abs() < 1.5 && (p.y - 0.5).abs() < 1.5).count(),
         sim.sys.len()
     );
 }

@@ -10,7 +10,9 @@
 //! stall the paper ties to particles/core.
 
 use sph_exa_repro::cluster::scaling::render_scaling_table;
-use sph_exa_repro::cluster::{marenostrum4, piz_daint, scaling_experiment, ScalingConfig, StepModelConfig};
+use sph_exa_repro::cluster::{
+    marenostrum4, piz_daint, scaling_experiment, ScalingConfig, StepModelConfig,
+};
 use sph_exa_repro::exa::SimulationBuilder;
 use sph_exa_repro::parents::{sphflow, Scenario};
 use sph_exa_repro::scenarios::{square_patch, SquarePatchConfig};
@@ -19,7 +21,10 @@ fn main() {
     let setup = sphflow();
     let nx = 20;
     let cfg = SquarePatchConfig { nx, nz: nx, gamma: setup.sph.gamma, ..Default::default() };
-    println!("strong scaling of the square patch, {} particles, SPH-flow configuration", nx * nx * nx);
+    println!(
+        "strong scaling of the square patch, {} particles, SPH-flow configuration",
+        nx * nx * nx
+    );
 
     for machine in [piz_daint(), marenostrum4()] {
         let sys = square_patch(&cfg);

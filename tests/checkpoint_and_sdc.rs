@@ -55,13 +55,8 @@ fn restart_is_bit_exact_with_gravity() {
     )
     .unwrap();
     replay.run(2);
-    let max_dev = original
-        .sys
-        .x
-        .iter()
-        .zip(&replay.sys.x)
-        .map(|(a, b)| (*a - *b).norm())
-        .fold(0.0, f64::max);
+    let max_dev =
+        original.sys.x.iter().zip(&replay.sys.x).map(|(a, b)| (*a - *b).norm()).fold(0.0, f64::max);
     assert_eq!(max_dev, 0.0, "gravity restart deviated by {max_dev}");
 }
 
@@ -96,10 +91,7 @@ fn injected_corruption_is_always_caught_by_the_checksum() {
         det.arm(&sim.sys);
         let mut backup = sim.sys.clone();
         let what = SdcInjector::new(seed).inject(&mut sim.sys);
-        assert!(
-            det.check(&sim.sys).is_corrupted(),
-            "seed {seed}: missed injection at {what}"
-        );
+        assert!(det.check(&sim.sys).is_corrupted(), "seed {seed}: missed injection at {what}");
         std::mem::swap(&mut sim.sys, &mut backup); // restore clean state
     }
 }

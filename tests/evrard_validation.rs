@@ -52,10 +52,7 @@ fn cold_cloud_collapses_and_conserves_energy() {
     let r1 = mean_radius(&sim.sys);
     assert!(r1 < r0, "cloud must contract: ⟨r⟩ {r0} → {r1}");
     assert!(c1.kinetic_energy > c0.kinetic_energy, "infall must gain kinetic energy");
-    assert!(
-        c1.gravitational_energy < c0.gravitational_energy,
-        "potential must deepen"
-    );
+    assert!(c1.gravitational_energy < c0.gravitational_energy, "potential must deepen");
     assert!(c1.energy_drift(&c0) < 0.02, "energy drift {}", c1.energy_drift(&c0));
     assert!(sim.sys.sanity_check().is_ok());
 }
@@ -75,10 +72,7 @@ fn central_density_grows_during_collapse() {
         sim.step();
     }
     let rho1 = central_density(&sim.sys);
-    assert!(
-        rho1 > 1.2 * rho0,
-        "central density should grow during collapse: {rho0} → {rho1}"
-    );
+    assert!(rho1 > 1.2 * rho0, "central density should grow during collapse: {rho0} → {rho1}");
 }
 
 #[test]

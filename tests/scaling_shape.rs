@@ -29,7 +29,9 @@ mod sph_bench_helpers {
     use super::*;
     use sph_exa_repro::core::config::SphConfig;
     use sph_exa_repro::exa::{Simulation, SimulationBuilder};
-    use sph_exa_repro::scenarios::{evrard_collapse, square_patch, EvrardConfig, SquarePatchConfig};
+    use sph_exa_repro::scenarios::{
+        evrard_collapse, square_patch, EvrardConfig, SquarePatchConfig,
+    };
 
     pub fn square(setup: &CodeSetup, n: usize) -> Simulation {
         let nx = (n as f64).cbrt().round() as usize;
@@ -62,11 +64,7 @@ fn every_code_speeds_up_then_stalls() {
         let t12 = rows[0].mean_step_time;
         let t48 = rows[1].mean_step_time;
         let t768 = rows[3].mean_step_time;
-        assert!(
-            t48 < t12 / 2.0,
-            "{} {scenario:?}: no early speedup ({t12} → {t48})",
-            setup.name
-        );
+        assert!(t48 < t12 / 2.0, "{} {scenario:?}: no early speedup ({t12} → {t48})", setup.name);
         let eff_48 = t12 / t48 / 4.0;
         let eff_768 = t12 / t768 / 64.0;
         assert!(

@@ -44,10 +44,7 @@ fn angular_momentum_is_conserved_over_many_steps() {
     assert!(lz0.abs() > 1e-3, "the patch must actually rotate");
     sim.run(10);
     let lz1 = lz(&sim.sys);
-    assert!(
-        ((lz1 - lz0) / lz0).abs() < 1e-3,
-        "angular momentum drifted: {lz0} → {lz1}"
-    );
+    assert!(((lz1 - lz0) / lz0).abs() < 1e-3, "angular momentum drifted: {lz0} → {lz1}");
 }
 
 #[test]

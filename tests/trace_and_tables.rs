@@ -2,7 +2,9 @@
 //! produce the structures the paper describes.
 
 use sph_exa_repro::cluster::tracegen::{step_trace, PhaseProfile};
-use sph_exa_repro::cluster::{model_step, piz_daint, CostModel, LoadBalancing, Partitioner, StepModelConfig, StepWorkload};
+use sph_exa_repro::cluster::{
+    model_step, piz_daint, CostModel, LoadBalancing, Partitioner, StepModelConfig, StepWorkload,
+};
 use sph_exa_repro::core::config::SphConfig;
 use sph_exa_repro::exa::SimulationBuilder;
 use sph_exa_repro::parents::features::{table1, table2, table3, table4};
@@ -76,7 +78,8 @@ fn figure4_trace_shows_the_serial_tree_pathology() {
 fn fixing_the_pathologies_improves_pop_lb() {
     // §5.2: the analysis led to parallelising the tree and rebalancing;
     // the modelled POP load balance must improve accordingly.
-    let sick = step_trace(&modelled_timing(8, LoadBalancing::Static), &PhaseProfile::sphynx_evrard());
+    let sick =
+        step_trace(&modelled_timing(8, LoadBalancing::Static), &PhaseProfile::sphynx_evrard());
     let fixed_timing = modelled_timing(8, LoadBalancing::Dynamic);
     let fixed = step_trace(
         &fixed_timing,
@@ -84,10 +87,7 @@ fn fixing_the_pathologies_improves_pop_lb() {
     );
     let lb_sick = pop_metrics(&sick, None).load_balance;
     let lb_fixed = pop_metrics(&fixed, None).load_balance;
-    assert!(
-        lb_fixed > lb_sick + 0.1,
-        "fixes should improve LB: {lb_sick:.3} → {lb_fixed:.3}"
-    );
+    assert!(lb_fixed > lb_sick + 0.1, "fixes should improve LB: {lb_sick:.3} → {lb_fixed:.3}");
 }
 
 #[test]
