@@ -72,7 +72,8 @@ proptest! {
 fn failing_property_panics_with_case_info() {
     let result = std::panic::catch_unwind(|| {
         proptest! {
-            #[test]
+            // No #[test] here: the item lives inside a function body, where
+            // the attribute would be inert and rustc warns about it.
             fn always_fails(x in 0u32..10) {
                 prop_assert!(x > 100, "x was {x}");
             }

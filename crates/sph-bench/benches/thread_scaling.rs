@@ -1,0 +1,34 @@
+//! Thread scaling of one full SPH time-step on the 10k-particle square
+//! patch — the measured side of the hybrid (threads-per-rank) term of the
+//! cluster step model.
+//!
+//! The `sph_step_threads/t{N}` medians give the in-rank speedup `S(N)`;
+//! feeding `efficiency = (S − 1)/(N − 1)` into
+//! `MachineModel::with_threads(N, efficiency)` makes the modelled scaling
+//! curves reflect what this pool actually delivers. The acceptance bar for
+//! the parallel rayon shim is `S(4) ≥ 1.5` on this benchmark, with the
+//! determinism suite guaranteeing the *results* are bit-identical at every
+//! thread count.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sph_bench::build_square_sim;
+use sph_parents::sphflow;
+
+const N: usize = 10_000;
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sph_step_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        rayon::ThreadPoolBuilder::new().num_threads(threads).build_global().unwrap();
+        group.bench_function(format!("square10k_t{threads}"), |b| {
+            b.iter_with_setup(|| build_square_sim(&sphflow(), N), |mut sim| black_box(sim.step()))
+        });
+    }
+    // Reset to the SPH_THREADS / hardware default for any later groups.
+    rayon::ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling);
+criterion_main!(benches);

@@ -14,6 +14,7 @@ use crate::particles::ParticleSystem;
 use crate::StepStats;
 use rayon::prelude::*;
 use sph_kernels::{Kernel, SUPPORT_RADIUS};
+use sph_math::REDUCE_CHUNK;
 use sph_tree::{NeighborSearch, Octree, TraversalStats};
 
 /// Flattened (CSR) neighbour lists for a set of query particles.
@@ -97,8 +98,16 @@ struct DensityRow {
     rho: f64,
     omega: f64,
     neighbors: Vec<u32>,
-    h_iterations: u64,
+}
+
+/// Per-chunk output: the rows plus the chunk-folded counters. Counters are
+/// folded once per chunk (not per particle) and merged in chunk order by
+/// the caller — the chunked-map + ordered-reduce shape every parallel hot
+/// path in the workspace follows.
+struct DensityChunk {
+    rows: Vec<DensityRow>,
     stats: TraversalStats,
+    h_iterations: u64,
     interactions: u64,
 }
 
@@ -132,72 +141,88 @@ pub fn compute_density(
     }
     assert!(h_cap > 0.0, "degenerate periodic domain: zero span on a periodic axis");
 
-    let rows: Vec<DensityRow> = active
-        .par_iter()
-        .map(|&ai| {
-            let i = ai as usize;
-            let xi = sys.x[i];
-            let mut h = sys.h[i];
-            let mut neighbors: Vec<u32> = Vec::with_capacity(cfg.target_neighbors * 2);
+    // Chunked map: fixed REDUCE_CHUNK boundaries (independent of the
+    // thread count) so the per-chunk folds below always see the same
+    // particles — results are bit-identical for any `SPH_THREADS`.
+    let chunks: Vec<DensityChunk> = active
+        .par_chunks(REDUCE_CHUNK)
+        .map(|chunk| {
             let mut stats = TraversalStats::default();
-            let mut iterations = 0u64;
-
-            // --- Smoothing-length iteration (phases B–D of Fig. 4) ---
-            loop {
-                neighbors.clear();
-                search.neighbors_within(xi, SUPPORT_RADIUS * h, &mut neighbors, &mut stats);
-                iterations += 1;
-                let count = neighbors.len();
-                if iterations as usize >= cfg.max_h_iterations || (lo..=hi).contains(&count) {
-                    break;
-                }
-                if count < 2 {
-                    // Starved support: grow geometrically.
-                    h = (h * 1.5).min(h_cap);
-                    if h >= h_cap {
-                        break;
-                    }
-                    continue;
-                }
-                // n(h) ∝ h³ ⇒ damped fixed point of h (n_target/n)^{1/3}.
-                let factor = (target / count as f64).cbrt();
-                let h_new = (h * 0.5 * (1.0 + factor)).min(h_cap);
-                if h_new == h {
-                    break; // pinned at the periodic cap
-                }
-                h = h_new;
-            }
-
-            // --- Density sum and grad-h term over the final support ---
-            let mut rho = 0.0;
-            let mut drho_dh = 0.0;
+            let mut h_iterations = 0u64;
             let mut interactions = 0u64;
-            for &j in &neighbors {
-                let j = j as usize;
-                let d = sys.periodicity.displacement(xi, sys.x[j]);
-                let r = d.norm();
-                rho += sys.m[j] * kernel.w(r, h);
-                drho_dh += sys.m[j] * kernel.dw_dh(r, h);
-                interactions += 1;
-            }
-            // Ω_i = 1 + (h/3ρ) ∂ρ/∂h
-            let omega = if rho > 0.0 { 1.0 + h / (3.0 * rho) * drho_dh } else { 1.0 };
-            DensityRow { h, rho, omega, neighbors, h_iterations: iterations, stats, interactions }
+            let rows = chunk
+                .iter()
+                .map(|&ai| {
+                    let i = ai as usize;
+                    let xi = sys.x[i];
+                    let mut h = sys.h[i];
+                    let mut neighbors: Vec<u32> = Vec::with_capacity(cfg.target_neighbors * 2);
+                    let mut iterations = 0u64;
+
+                    // --- Smoothing-length iteration (phases B–D of Fig. 4) ---
+                    loop {
+                        neighbors.clear();
+                        search.neighbors_within(xi, SUPPORT_RADIUS * h, &mut neighbors, &mut stats);
+                        iterations += 1;
+                        let count = neighbors.len();
+                        if iterations as usize >= cfg.max_h_iterations || (lo..=hi).contains(&count)
+                        {
+                            break;
+                        }
+                        if count < 2 {
+                            // Starved support: grow geometrically.
+                            h = (h * 1.5).min(h_cap);
+                            if h >= h_cap {
+                                break;
+                            }
+                            continue;
+                        }
+                        // n(h) ∝ h³ ⇒ damped fixed point of h (n_target/n)^{1/3}.
+                        let factor = (target / count as f64).cbrt();
+                        let h_new = (h * 0.5 * (1.0 + factor)).min(h_cap);
+                        if h_new == h {
+                            break; // pinned at the periodic cap
+                        }
+                        h = h_new;
+                    }
+
+                    // --- Density sum and grad-h term over the final support ---
+                    let mut rho = 0.0;
+                    let mut drho_dh = 0.0;
+                    for &j in &neighbors {
+                        let j = j as usize;
+                        let d = sys.periodicity.displacement(xi, sys.x[j]);
+                        let r = d.norm();
+                        rho += sys.m[j] * kernel.w(r, h);
+                        drho_dh += sys.m[j] * kernel.dw_dh(r, h);
+                        interactions += 1;
+                    }
+                    // Ω_i = 1 + (h/3ρ) ∂ρ/∂h
+                    let omega = if rho > 0.0 { 1.0 + h / (3.0 * rho) * drho_dh } else { 1.0 };
+                    h_iterations += iterations;
+                    DensityRow { h, rho, omega, neighbors }
+                })
+                .collect();
+            DensityChunk { rows, stats, h_iterations, interactions }
         })
         .collect();
 
-    // Write back and assemble outputs.
-    let mut lists = Vec::with_capacity(rows.len());
+    // Ordered reduce: merge chunk counters and write rows back in `active`
+    // order (chunk order × row order reproduces it exactly).
+    let mut lists = Vec::with_capacity(active.len());
     let mut step = StepStats::default();
-    for (&ai, row) in active.iter().zip(rows) {
-        let i = ai as usize;
-        sys.h[i] = row.h;
-        sys.rho[i] = row.rho;
-        sys.omega[i] = if cfg.grad_h { row.omega } else { 1.0 };
-        step.neighbor.merge(&row.stats);
-        step.h_iterations += row.h_iterations;
-        step.sph_interactions += row.interactions;
-        lists.push(row.neighbors);
+    let mut ids = active.iter();
+    for chunk in chunks {
+        step.neighbor.merge(&chunk.stats);
+        step.h_iterations += chunk.h_iterations;
+        step.sph_interactions += chunk.interactions;
+        for row in chunk.rows {
+            let i = *ids.next().expect("chunk rows outnumber active ids") as usize;
+            sys.h[i] = row.h;
+            sys.rho[i] = row.rho;
+            sys.omega[i] = if cfg.grad_h { row.omega } else { 1.0 };
+            lists.push(row.neighbors);
+        }
     }
     step.active_particles += active.len() as u64;
     (NeighborLists::from_lists(lists), step)
@@ -372,14 +397,14 @@ mod tests {
         let tree = Octree::build(&sys.x, &sys.bounds(), OctreeConfig::default());
         let kernel = cfg.kernel.build();
         let before_rho = sys.rho.clone();
-        let active = vec![0u32, 5, 10];
+        let active = [0u32, 5, 10];
         let (lists, stats) = compute_density(&mut sys, &tree, kernel.as_ref(), &cfg, &active);
         assert_eq!(lists.query_count(), 3);
         assert_eq!(stats.active_particles, 3);
         // Untouched particles keep their (zero) density.
-        for i in 0..sys.len() {
+        for (i, &rho_before) in before_rho.iter().enumerate() {
             if !active.contains(&(i as u32)) {
-                assert_eq!(sys.rho[i], before_rho[i]);
+                assert_eq!(sys.rho[i], rho_before);
             }
         }
         for &ai in &active {

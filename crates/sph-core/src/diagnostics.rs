@@ -3,11 +3,16 @@
 //! §5 of the paper: "It is much more important to limit the deviations in
 //! under-resolved regimes by enforcing fundamental conservation laws."
 //! These sums are the acceptance criteria of both test cases and feed the
-//! conservation-drift SDC detector in `sph-ft`. All reductions use Kahan
-//! summation so drift measurements are not round-off artefacts.
+//! conservation-drift SDC detector in `sph-ft`. All reductions use
+//! Kahan–Babuška–Neumaier summation so drift measurements are not round-off
+//! artefacts, and run as chunked parallel folds over fixed `REDUCE_CHUNK`
+//! boundaries merged in chunk order — the totals are bit-identical for any
+//! `SPH_THREADS`, which is the property that lets the SDC detector compare
+//! them across restarts and replicas.
 
 use crate::particles::ParticleSystem;
-use sph_math::{KahanAccumulator, Vec3};
+use rayon::prelude::*;
+use sph_math::{KahanAccumulator, Vec3, REDUCE_CHUNK};
 
 /// Snapshot of the conserved quantities of a particle system.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,45 +26,84 @@ pub struct Conservation {
     pub gravitational_energy: f64,
 }
 
+/// The ten compensated partial sums of one `REDUCE_CHUNK` of particles.
+#[derive(Debug, Clone, Copy, Default)]
+struct ConservationAccum {
+    mass: KahanAccumulator,
+    px: KahanAccumulator,
+    py: KahanAccumulator,
+    pz: KahanAccumulator,
+    lx: KahanAccumulator,
+    ly: KahanAccumulator,
+    lz: KahanAccumulator,
+    ke: KahanAccumulator,
+    ie: KahanAccumulator,
+    ge: KahanAccumulator,
+}
+
+impl ConservationAccum {
+    fn merge(&mut self, o: &ConservationAccum) {
+        self.mass.merge(&o.mass);
+        self.px.merge(&o.px);
+        self.py.merge(&o.py);
+        self.pz.merge(&o.pz);
+        self.lx.merge(&o.lx);
+        self.ly.merge(&o.ly);
+        self.lz.merge(&o.lz);
+        self.ke.merge(&o.ke);
+        self.ie.merge(&o.ie);
+        self.ge.merge(&o.ge);
+    }
+}
+
 impl Conservation {
     /// Measure a system. `potentials` (per-particle φ) enables the
     /// gravitational term `½ Σ m φ`.
+    ///
+    /// Chunked map + ordered reduce: each fixed `REDUCE_CHUNK` of particles
+    /// folds into its own compensated accumulators on the thread pool, and
+    /// the chunk accumulators merge in chunk order via the
+    /// Kahan–Babuška–Neumaier [`KahanAccumulator::merge`].
     pub fn measure(sys: &ParticleSystem, potentials: Option<&[f64]>) -> Conservation {
-        let mut mass = KahanAccumulator::new();
-        let mut px = KahanAccumulator::new();
-        let mut py = KahanAccumulator::new();
-        let mut pz = KahanAccumulator::new();
-        let mut lx = KahanAccumulator::new();
-        let mut ly = KahanAccumulator::new();
-        let mut lz = KahanAccumulator::new();
-        let mut ke = KahanAccumulator::new();
-        let mut ie = KahanAccumulator::new();
-        let mut ge = KahanAccumulator::new();
-        for i in 0..sys.len() {
-            let m = sys.m[i];
-            let v = sys.v[i];
-            let x = sys.x[i];
-            mass.add(m);
-            px.add(m * v.x);
-            py.add(m * v.y);
-            pz.add(m * v.z);
-            let l = x.cross(v) * m;
-            lx.add(l.x);
-            ly.add(l.y);
-            lz.add(l.z);
-            ke.add(0.5 * m * v.norm_sq());
-            ie.add(m * sys.u[i]);
-            if let Some(phi) = potentials {
-                ge.add(0.5 * m * phi[i]);
-            }
+        let chunks: Vec<ConservationAccum> = sys
+            .m
+            .par_chunks(REDUCE_CHUNK)
+            .enumerate()
+            .map(|(c, masses)| {
+                let base = c * REDUCE_CHUNK;
+                let mut acc = ConservationAccum::default();
+                for (off, &m) in masses.iter().enumerate() {
+                    let i = base + off;
+                    let v = sys.v[i];
+                    let x = sys.x[i];
+                    acc.mass.add(m);
+                    acc.px.add(m * v.x);
+                    acc.py.add(m * v.y);
+                    acc.pz.add(m * v.z);
+                    let l = x.cross(v) * m;
+                    acc.lx.add(l.x);
+                    acc.ly.add(l.y);
+                    acc.lz.add(l.z);
+                    acc.ke.add(0.5 * m * v.norm_sq());
+                    acc.ie.add(m * sys.u[i]);
+                    if let Some(phi) = potentials {
+                        acc.ge.add(0.5 * m * phi[i]);
+                    }
+                }
+                acc
+            })
+            .collect();
+        let mut total = ConservationAccum::default();
+        for acc in &chunks {
+            total.merge(acc);
         }
         Conservation {
-            total_mass: mass.total(),
-            momentum: Vec3::new(px.total(), py.total(), pz.total()),
-            angular_momentum: Vec3::new(lx.total(), ly.total(), lz.total()),
-            kinetic_energy: ke.total(),
-            internal_energy: ie.total(),
-            gravitational_energy: ge.total(),
+            total_mass: total.mass.total(),
+            momentum: Vec3::new(total.px.total(), total.py.total(), total.pz.total()),
+            angular_momentum: Vec3::new(total.lx.total(), total.ly.total(), total.lz.total()),
+            kinetic_energy: total.ke.total(),
+            internal_energy: total.ie.total(),
+            gravitational_energy: total.ge.total(),
         }
     }
 

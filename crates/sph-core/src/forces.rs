@@ -25,7 +25,7 @@ use crate::particles::ParticleSystem;
 use crate::viscosity::{balsara_factor, pair_viscosity};
 use rayon::prelude::*;
 use sph_kernels::Kernel;
-use sph_math::Vec3;
+use sph_math::{Vec3, REDUCE_CHUNK};
 
 /// Evaluate hydrodynamic accelerations and energy derivatives for the
 /// active particles. Requires density, volume elements, Ω, EOS outputs
@@ -43,68 +43,84 @@ pub fn compute_forces(
     let scheme = cfg.gradients;
     let visc = cfg.viscosity;
 
-    let rows: Vec<(Vec3, f64, u64)> = active
-        .par_iter()
+    // Chunked map + ordered reduce: rows per chunk plus one chunk-folded
+    // pair counter, over fixed REDUCE_CHUNK boundaries (thread-count
+    // independent, so accelerations are bit-identical for any SPH_THREADS).
+    let chunks: Vec<(Vec<(Vec3, f64)>, u64)> = active
+        .par_chunks(REDUCE_CHUNK)
         .enumerate()
-        .map(|(k, &ai)| {
-            let i = ai as usize;
-            let xi = sys.x[i];
-            let vi = sys.v[i];
-            let hi = sys.h[i];
-            let rho_i = sys.rho[i];
-            let p_i = sys.p[i];
-            let cs_i = sys.cs[i];
-            let ci = sys.c_iad[i];
-            let alpha_i = p_i / (sys.omega[i] * rho_i * rho_i);
-            let f_bal_i = if visc.balsara {
-                balsara_factor(sys.div_v[i], sys.curl_v[i], cs_i, hi)
-            } else {
-                1.0
-            };
+        .map(|(c, chunk)| {
+            let mut chunk_pairs = 0u64;
+            let rows = chunk
+                .iter()
+                .enumerate()
+                .map(|(off, &ai)| {
+                    let k = c * REDUCE_CHUNK + off;
+                    let i = ai as usize;
+                    let xi = sys.x[i];
+                    let vi = sys.v[i];
+                    let hi = sys.h[i];
+                    let rho_i = sys.rho[i];
+                    let p_i = sys.p[i];
+                    let cs_i = sys.cs[i];
+                    let ci = sys.c_iad[i];
+                    let alpha_i = p_i / (sys.omega[i] * rho_i * rho_i);
+                    let f_bal_i = if visc.balsara {
+                        balsara_factor(sys.div_v[i], sys.curl_v[i], cs_i, hi)
+                    } else {
+                        1.0
+                    };
 
-            let mut acc = Vec3::ZERO;
-            let mut dudt = 0.0;
-            let mut pairs = 0u64;
-            for &j in lists.neighbors(k) {
-                let j = j as usize;
-                if j == i {
-                    continue;
-                }
-                pairs += 1;
-                let d = sys.periodicity.displacement(xi, sys.x[j]);
-                let r = d.norm();
-                let dv = vi - sys.v[j];
+                    let mut acc = Vec3::ZERO;
+                    let mut dudt = 0.0;
+                    for &j in lists.neighbors(k) {
+                        let j = j as usize;
+                        if j == i {
+                            continue;
+                        }
+                        chunk_pairs += 1;
+                        let d = sys.periodicity.displacement(xi, sys.x[j]);
+                        let r = d.norm();
+                        let dv = vi - sys.v[j];
 
-                let g_i = effective_gradient(scheme, kernel, &ci, d, r, hi);
-                let g_j = effective_gradient(scheme, kernel, &sys.c_iad[j], d, r, sys.h[j]);
-                let g_bar = (g_i + g_j) * 0.5;
+                        let g_i = effective_gradient(scheme, kernel, &ci, d, r, hi);
+                        let g_j = effective_gradient(scheme, kernel, &sys.c_iad[j], d, r, sys.h[j]);
+                        let g_bar = (g_i + g_j) * 0.5;
 
-                let rho_j = sys.rho[j];
-                let alpha_j = sys.p[j] / (sys.omega[j] * rho_j * rho_j);
+                        let rho_j = sys.rho[j];
+                        let alpha_j = sys.p[j] / (sys.omega[j] * rho_j * rho_j);
 
-                let f_bal_j = if visc.balsara {
-                    balsara_factor(sys.div_v[j], sys.curl_v[j], sys.cs[j], sys.h[j])
-                } else {
-                    1.0
-                };
-                let pi_ij = pair_viscosity(
-                    &visc, d, dv, hi, sys.h[j], cs_i, sys.cs[j], rho_i, rho_j, f_bal_i, f_bal_j,
-                );
+                        let f_bal_j = if visc.balsara {
+                            balsara_factor(sys.div_v[j], sys.curl_v[j], sys.cs[j], sys.h[j])
+                        } else {
+                            1.0
+                        };
+                        let pi_ij = pair_viscosity(
+                            &visc, d, dv, hi, sys.h[j], cs_i, sys.cs[j], rho_i, rho_j, f_bal_i,
+                            f_bal_j,
+                        );
 
-                let mj = sys.m[j];
-                acc -= (g_i * alpha_i + g_j * alpha_j + g_bar * pi_ij) * mj;
-                dudt += mj * (alpha_i * dv.dot(g_i) + 0.5 * pi_ij * dv.dot(g_bar));
-            }
-            (acc, dudt, pairs)
+                        let mj = sys.m[j];
+                        acc -= (g_i * alpha_i + g_j * alpha_j + g_bar * pi_ij) * mj;
+                        dudt += mj * (alpha_i * dv.dot(g_i) + 0.5 * pi_ij * dv.dot(g_bar));
+                    }
+                    (acc, dudt)
+                })
+                .collect();
+            (rows, chunk_pairs)
         })
         .collect();
 
+    // Ordered reduce: write rows back in `active` order, fold pair counts.
     let mut total_pairs = 0;
-    for (&ai, (acc, dudt, pairs)) in active.iter().zip(rows) {
-        let i = ai as usize;
-        sys.a[i] = acc;
-        sys.du_dt[i] = dudt;
-        total_pairs += pairs;
+    let mut ids = active.iter();
+    for (rows, chunk_pairs) in chunks {
+        total_pairs += chunk_pairs;
+        for (acc, dudt) in rows {
+            let i = *ids.next().expect("chunk rows outnumber active ids") as usize;
+            sys.a[i] = acc;
+            sys.du_dt[i] = dudt;
+        }
     }
     total_pairs
 }

@@ -21,7 +21,7 @@ use crate::density::NeighborLists;
 use crate::particles::ParticleSystem;
 use rayon::prelude::*;
 use sph_kernels::Kernel;
-use sph_math::{Mat3, Vec3};
+use sph_math::{Mat3, Vec3, REDUCE_CHUNK};
 
 /// Compute the IAD matrices `C_i` for all `active` particles.
 ///
@@ -35,25 +35,34 @@ pub fn compute_iad_matrices(
     active: &[u32],
 ) {
     assert_eq!(lists.query_count(), active.len());
-    let mats: Vec<Mat3> = active
-        .par_iter()
+    // Chunked map over fixed REDUCE_CHUNK boundaries; the ordered flatten
+    // below reproduces `active` order exactly for any thread count.
+    let chunks: Vec<Vec<Mat3>> = active
+        .par_chunks(REDUCE_CHUNK)
         .enumerate()
-        .map(|(k, &ai)| {
-            let i = ai as usize;
-            let xi = sys.x[i];
-            let h = sys.h[i];
-            let mut tau = Mat3::ZERO;
-            for &j in lists.neighbors(k) {
-                let j = j as usize;
-                // r_j − r_i under the periodic metric.
-                let dji = -sys.periodicity.displacement(xi, sys.x[j]);
-                let w = kernel.w(dji.norm(), h);
-                tau.add_scaled_outer(dji, sys.vol[j] * w);
-            }
-            tau.inverse().unwrap_or(Mat3::ZERO)
+        .map(|(c, chunk)| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(off, &ai)| {
+                    let k = c * REDUCE_CHUNK + off;
+                    let i = ai as usize;
+                    let xi = sys.x[i];
+                    let h = sys.h[i];
+                    let mut tau = Mat3::ZERO;
+                    for &j in lists.neighbors(k) {
+                        let j = j as usize;
+                        // r_j − r_i under the periodic metric.
+                        let dji = -sys.periodicity.displacement(xi, sys.x[j]);
+                        let w = kernel.w(dji.norm(), h);
+                        tau.add_scaled_outer(dji, sys.vol[j] * w);
+                    }
+                    tau.inverse().unwrap_or(Mat3::ZERO)
+                })
+                .collect()
         })
         .collect();
-    for (&ai, m) in active.iter().zip(mats) {
+    for (&ai, m) in active.iter().zip(chunks.into_iter().flatten()) {
         sys.c_iad[ai as usize] = m;
     }
 }
@@ -109,27 +118,35 @@ pub fn scalar_gradient(
     f: &[f64],
 ) -> Vec<Vec3> {
     assert_eq!(f.len(), sys.len());
-    active
-        .par_iter()
+    let chunks: Vec<Vec<Vec3>> = active
+        .par_chunks(REDUCE_CHUNK)
         .enumerate()
-        .map(|(k, &ai)| {
-            let i = ai as usize;
-            let xi = sys.x[i];
-            let h = sys.h[i];
-            let ci = &sys.c_iad[i];
-            let mut grad = Vec3::ZERO;
-            for &j in lists.neighbors(k) {
-                let j = j as usize;
-                if j == i {
-                    continue;
-                }
-                let d = sys.periodicity.displacement(xi, sys.x[j]);
-                let g = effective_gradient(scheme, kernel, ci, d, d.norm(), h);
-                grad += g * (sys.vol[j] * (f[j] - f[i]));
-            }
-            grad
+        .map(|(c, chunk)| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(off, &ai)| {
+                    let k = c * REDUCE_CHUNK + off;
+                    let i = ai as usize;
+                    let xi = sys.x[i];
+                    let h = sys.h[i];
+                    let ci = &sys.c_iad[i];
+                    let mut grad = Vec3::ZERO;
+                    for &j in lists.neighbors(k) {
+                        let j = j as usize;
+                        if j == i {
+                            continue;
+                        }
+                        let d = sys.periodicity.displacement(xi, sys.x[j]);
+                        let g = effective_gradient(scheme, kernel, ci, d, d.norm(), h);
+                        grad += g * (sys.vol[j] * (f[j] - f[i]));
+                    }
+                    grad
+                })
+                .collect()
         })
-        .collect()
+        .collect();
+    chunks.into_iter().flatten().collect()
 }
 
 /// Compute `∇·v` and `|∇×v|` for the active particles, writing them into
@@ -142,33 +159,40 @@ pub fn compute_velocity_gradients(
     scheme: GradientScheme,
     active: &[u32],
 ) {
-    let rows: Vec<(f64, f64)> = active
-        .par_iter()
+    let chunks: Vec<Vec<(f64, f64)>> = active
+        .par_chunks(REDUCE_CHUNK)
         .enumerate()
-        .map(|(k, &ai)| {
-            let i = ai as usize;
-            let xi = sys.x[i];
-            let vi = sys.v[i];
-            let h = sys.h[i];
-            let ci = &sys.c_iad[i];
-            let mut div = 0.0;
-            let mut curl = Vec3::ZERO;
-            for &j in lists.neighbors(k) {
-                let j = j as usize;
-                if j == i {
-                    continue;
-                }
-                let d = sys.periodicity.displacement(xi, sys.x[j]);
-                let g = effective_gradient(scheme, kernel, ci, d, d.norm(), h);
-                let dv = sys.v[j] - vi;
-                let vol = sys.vol[j];
-                div += vol * dv.dot(g);
-                curl += (dv.cross(g)) * vol;
-            }
-            (div, curl.norm())
+        .map(|(c, chunk)| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(off, &ai)| {
+                    let k = c * REDUCE_CHUNK + off;
+                    let i = ai as usize;
+                    let xi = sys.x[i];
+                    let vi = sys.v[i];
+                    let h = sys.h[i];
+                    let ci = &sys.c_iad[i];
+                    let mut div = 0.0;
+                    let mut curl = Vec3::ZERO;
+                    for &j in lists.neighbors(k) {
+                        let j = j as usize;
+                        if j == i {
+                            continue;
+                        }
+                        let d = sys.periodicity.displacement(xi, sys.x[j]);
+                        let g = effective_gradient(scheme, kernel, ci, d, d.norm(), h);
+                        let dv = sys.v[j] - vi;
+                        let vol = sys.vol[j];
+                        div += vol * dv.dot(g);
+                        curl += (dv.cross(g)) * vol;
+                    }
+                    (div, curl.norm())
+                })
+                .collect()
         })
         .collect();
-    for (&ai, (div, curl)) in active.iter().zip(rows) {
+    for (&ai, (div, curl)) in active.iter().zip(chunks.into_iter().flatten()) {
         sys.div_v[ai as usize] = div;
         sys.curl_v[ai as usize] = curl;
     }

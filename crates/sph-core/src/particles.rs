@@ -164,12 +164,12 @@ impl ParticleSystem {
             }
         }
         for (i, &m) in self.m.iter().enumerate() {
-            if !(m > 0.0) || !m.is_finite() {
+            if m <= 0.0 || !m.is_finite() {
                 return Err(format!("particle {i}: bad mass {m}"));
             }
         }
         for (i, &h) in self.h.iter().enumerate() {
-            if !(h > 0.0) || !h.is_finite() {
+            if h <= 0.0 || !h.is_finite() {
                 return Err(format!("particle {i}: bad smoothing length {h}"));
             }
         }

@@ -234,7 +234,7 @@ mod tests {
         let ratio = block_step_work_ratio(&rungs, 4);
         assert!(ratio < 0.2, "work ratio {ratio}");
         // All particles on the deepest rung = no savings.
-        let ratio = block_step_work_ratio(&vec![3u8; 100], 3);
+        let ratio = block_step_work_ratio(&[3u8; 100], 3);
         assert!((ratio - 1.0).abs() < 1e-12);
     }
 }

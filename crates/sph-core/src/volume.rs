@@ -13,6 +13,7 @@ use crate::density::NeighborLists;
 use crate::particles::ParticleSystem;
 use rayon::prelude::*;
 use sph_kernels::Kernel;
+use sph_math::REDUCE_CHUNK;
 
 /// Compute volume elements for the active particles, and — for the
 /// generalized scheme — update their densities to `m/V`.
@@ -44,27 +45,34 @@ pub fn compute_volume_elements(
                 .zip(&sys.rho)
                 .map(|(&m, &rho)| if rho > 0.0 { (m / rho).powf(p) } else { 1.0 })
                 .collect();
-            let vols: Vec<f64> = active
-                .par_iter()
+            let chunks: Vec<Vec<f64>> = active
+                .par_chunks(REDUCE_CHUNK)
                 .enumerate()
-                .map(|(k, &ai)| {
-                    let i = ai as usize;
-                    let xi = sys.x[i];
-                    let h = sys.h[i];
-                    let mut kappa = 0.0;
-                    for &j in lists.neighbors(k) {
-                        let j = j as usize;
-                        let r = sys.periodicity.distance(xi, sys.x[j]);
-                        kappa += x_est[j] * kernel.w(r, h);
-                    }
-                    if kappa > 0.0 {
-                        x_est[i] / kappa
-                    } else {
-                        sys.m[i] / sys.rho[i].max(1e-300)
-                    }
+                .map(|(c, chunk)| {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(off, &ai)| {
+                            let k = c * REDUCE_CHUNK + off;
+                            let i = ai as usize;
+                            let xi = sys.x[i];
+                            let h = sys.h[i];
+                            let mut kappa = 0.0;
+                            for &j in lists.neighbors(k) {
+                                let j = j as usize;
+                                let r = sys.periodicity.distance(xi, sys.x[j]);
+                                kappa += x_est[j] * kernel.w(r, h);
+                            }
+                            if kappa > 0.0 {
+                                x_est[i] / kappa
+                            } else {
+                                sys.m[i] / sys.rho[i].max(1e-300)
+                            }
+                        })
+                        .collect()
                 })
                 .collect();
-            for (&ai, v) in active.iter().zip(vols) {
+            for (&ai, v) in active.iter().zip(chunks.into_iter().flatten()) {
                 let i = ai as usize;
                 sys.vol[i] = v;
                 sys.rho[i] = sys.m[i] / v;

@@ -10,7 +10,7 @@
 use crate::orb::rank_boxes;
 use crate::Decomposition;
 use rayon::prelude::*;
-use sph_math::{Periodicity, Vec3};
+use sph_math::{Periodicity, Vec3, REDUCE_CHUNK};
 
 /// The halo exchange pattern for one decomposition.
 #[derive(Debug, Clone)]
@@ -64,32 +64,41 @@ pub fn halo_sets(
     let r2 = radius * radius;
 
     // For each particle, the ranks whose box it is close to (excluding its
-    // owner). Parallel over particles, then inverted into per-rank lists.
-    let touches: Vec<Vec<u32>> = positions
-        .par_iter()
+    // owner). Chunked map over fixed REDUCE_CHUNK boundaries, then an
+    // ordered reduce inverting the chunks into per-rank import lists — so
+    // the import ordering is identical for any thread count.
+    let chunks: Vec<Vec<Vec<u32>>> = positions
+        .par_chunks(REDUCE_CHUNK)
         .enumerate()
-        .map(|(i, &p)| {
-            let owner = decomp.assignment[i];
-            let mut out = Vec::new();
-            // Periodic images of the particle that could be near a box.
-            let images = periodicity.ghost_offsets(p, radius);
-            for (r, bx) in boxes.iter().enumerate() {
-                if r as u32 == owner {
-                    continue;
-                }
-                let Some(bx) = bx else { continue };
-                let near = images.iter().any(|&off| bx.dist_sq_to_point(p + off) <= r2);
-                if near {
-                    out.push(r as u32);
-                }
-            }
-            out
+        .map(|(c, chunk)| {
+            let base = c * REDUCE_CHUNK;
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(off, &p)| {
+                    let owner = decomp.assignment[base + off];
+                    let mut out = Vec::new();
+                    // Periodic images of the particle that could be near a box.
+                    let images = periodicity.ghost_offsets(p, radius);
+                    for (r, bx) in boxes.iter().enumerate() {
+                        if r as u32 == owner {
+                            continue;
+                        }
+                        let Some(bx) = bx else { continue };
+                        let near = images.iter().any(|&off| bx.dist_sq_to_point(p + off) <= r2);
+                        if near {
+                            out.push(r as u32);
+                        }
+                    }
+                    out
+                })
+                .collect()
         })
         .collect();
 
     let mut imports: Vec<Vec<u32>> = vec![Vec::new(); nparts];
     let mut pair_volume = vec![0u32; nparts * nparts];
-    for (i, ranks) in touches.iter().enumerate() {
+    for (i, ranks) in chunks.iter().flatten().enumerate() {
         let owner = decomp.assignment[i] as usize;
         for &r in ranks {
             imports[r as usize].push(i as u32);

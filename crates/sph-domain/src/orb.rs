@@ -192,8 +192,8 @@ mod tests {
     fn deterministic_with_duplicate_coordinates() {
         // Ties along the split axis must break deterministically.
         let mut pts = random_points(100, 6);
-        for i in 0..50 {
-            pts[i].x = 0.5; // many identical x
+        for p in pts.iter_mut().take(50) {
+            p.x = 0.5; // many identical x
         }
         let a = orb_partition(&pts, 4, &[]);
         let b = orb_partition(&pts, 4, &[]);

@@ -110,8 +110,8 @@ mod tests {
         let d = slab_partition(&pts, &Aabb::unit(), 4, 2);
         // Any particle in a lower rank has z ≤ any particle in a higher
         // rank (up to quantile ties).
-        let mut max_per_rank = vec![f64::NEG_INFINITY; 4];
-        let mut min_per_rank = vec![f64::INFINITY; 4];
+        let mut max_per_rank = [f64::NEG_INFINITY; 4];
+        let mut min_per_rank = [f64::INFINITY; 4];
         for (i, &r) in d.assignment.iter().enumerate() {
             max_per_rank[r as usize] = max_per_rank[r as usize].max(pts[i].z);
             min_per_rank[r as usize] = min_per_rank[r as usize].min(pts[i].z);

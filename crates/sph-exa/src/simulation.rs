@@ -41,11 +41,12 @@ pub struct SimulationBuilder {
     sys: ParticleSystem,
     config: SphConfig,
     gravity: Option<GravityConfig>,
+    num_threads: Option<usize>,
 }
 
 impl SimulationBuilder {
     pub fn new(sys: ParticleSystem) -> Self {
-        SimulationBuilder { sys, config: SphConfig::default(), gravity: None }
+        SimulationBuilder { sys, config: SphConfig::default(), gravity: None, num_threads: None }
     }
 
     pub fn config(mut self, config: SphConfig) -> Self {
@@ -59,9 +60,24 @@ impl SimulationBuilder {
         self
     }
 
+    /// Worker threads for every parallel loop (0 = the `SPH_THREADS` /
+    /// hardware default). The pool is process-global, so this configures
+    /// *all* simulations, not just the one being built; results are
+    /// bit-identical for any setting thanks to the fixed-chunk reductions.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
     pub fn build(self) -> Result<Simulation, String> {
         self.config.validate()?;
         self.sys.sanity_check()?;
+        if let Some(n) = self.num_threads {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .map_err(|e| format!("thread pool: {e}"))?;
+        }
         let kernel = self.config.kernel.build();
         let eos = IdealGas::new(self.config.gamma);
         let n = self.sys.len();
@@ -184,29 +200,45 @@ impl Simulation {
             .time(Phase::Momentum, || compute_forces(sys, &force_lists, kernel, config, active));
         stats.sph_interactions += pair_count;
 
-        // Phase I: self-gravity.
+        // Phase I: self-gravity. Chunked map over fixed REDUCE_CHUNK
+        // boundaries + ordered reduce of the chunk traversal counters; the
+        // per-particle interaction count is kept alongside each sample
+        // because it is the load measure the cluster model consumes.
         if let Some(gcfg) = self.gravity {
             let gstats = self.timers.time(Phase::Gravity, || {
                 let solver = GravitySolver::new(&tree, &sys.m, gcfg);
-                let per_target: Vec<(usize, sph_tree::gravity::GravitySample, TraversalStats)> = {
+                type GravityRow = (usize, sph_tree::gravity::GravitySample, u64);
+                let chunks: Vec<(Vec<GravityRow>, TraversalStats)> = {
                     use rayon::prelude::*;
+                    use sph_math::REDUCE_CHUNK;
                     active
-                        .par_iter()
-                        .map(|&ai| {
-                            let i = ai as usize;
-                            let mut ts = TraversalStats::default();
-                            let s = solver.field_at(sys.x[i], Some(ai), &mut ts);
-                            (i, s, ts)
+                        .par_chunks(REDUCE_CHUNK)
+                        .map(|chunk| {
+                            let mut stats = TraversalStats::default();
+                            let rows = chunk
+                                .iter()
+                                .map(|&ai| {
+                                    let i = ai as usize;
+                                    let mut ts = TraversalStats::default();
+                                    let s = solver.field_at(sys.x[i], Some(ai), &mut ts);
+                                    let work = ts.total_interactions();
+                                    stats.merge(&ts);
+                                    (i, s, work)
+                                })
+                                .collect();
+                            (rows, stats)
                         })
                         .collect()
                 };
                 let mut merged = TraversalStats::default();
-                for (i, s, ts) in per_target {
-                    sys.a[i] += s.accel;
-                    self.phi[i] = s.potential;
-                    merged.merge(&ts);
-                    // Gravity work is attributed per particle below.
-                    self.per_particle_work[i] = ts.total_interactions() as f64;
+                for (rows, stats) in chunks {
+                    merged.merge(&stats);
+                    for (i, s, work) in rows {
+                        sys.a[i] += s.accel;
+                        self.phi[i] = s.potential;
+                        // Gravity work is attributed per particle below.
+                        self.per_particle_work[i] = work as f64;
+                    }
                 }
                 merged
             });

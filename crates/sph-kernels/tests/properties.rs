@@ -2,7 +2,7 @@
 //! relies on.
 
 use proptest::prelude::*;
-use sph_kernels::{Kernel, KernelKind, SUPPORT_RADIUS};
+use sph_kernels::{KernelKind, SUPPORT_RADIUS};
 use sph_math::Vec3;
 
 fn any_kernel() -> impl Strategy<Value = KernelKind> {

@@ -122,9 +122,9 @@ impl Mat3 {
             ],
         ];
         let mut out = Mat3::ZERO;
-        for r in 0..3 {
-            for c in 0..3 {
-                out.m[r][c] = adj[r][c] * inv_det;
+        for (row_out, row_adj) in out.m.iter_mut().zip(&adj) {
+            for (o, &a) in row_out.iter_mut().zip(row_adj) {
+                *o = a * inv_det;
             }
         }
         Some(out)

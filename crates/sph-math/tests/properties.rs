@@ -1,7 +1,36 @@
 //! Property-based tests of the math substrate.
 
 use proptest::prelude::*;
-use sph_math::{approx_eq, kahan_sum, pairwise_sum, Aabb, Mat3, Periodicity, SplitMix64, Vec3};
+use sph_math::{
+    approx_eq, kahan_sum, pairwise_sum, Aabb, KahanAccumulator, Mat3, Periodicity, SplitMix64, Vec3,
+};
+
+/// Distance in units in the last place between two finite doubles.
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    // Standard IEEE-754 total-order key: flip all bits of negatives, set
+    // the sign bit of non-negatives. Strictly monotone over the whole
+    // line, so distances through zero count every representable step.
+    fn key(x: f64) -> u64 {
+        let bits = x.to_bits();
+        if bits >> 63 == 1 {
+            !bits
+        } else {
+            bits | (1 << 63)
+        }
+    }
+    key(a).abs_diff(key(b))
+}
+
+#[test]
+fn ulp_distance_is_sign_aware() {
+    // Guard for the helper itself: ±1.0 are far apart, not distance 0.
+    assert!(ulp_distance(-1.0, 1.0) > 1 << 60);
+    assert_eq!(ulp_distance(1.0, 1.0), 0);
+    assert_eq!(ulp_distance(0.0, f64::from_bits(1)), 1);
+    // −0.0 and +0.0 are adjacent steps on the total-order line.
+    assert_eq!(ulp_distance(-0.0, 0.0), 1);
+    assert_eq!(ulp_distance(-0.0, f64::from_bits(1)), 2);
+}
 
 fn finite_f64() -> impl Strategy<Value = f64> {
     -1e6..1e6_f64
@@ -101,6 +130,36 @@ proptest! {
         let scale = values.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
         prop_assert!((k - naive).abs() < 1e-9 * scale);
         prop_assert!((p - naive).abs() < 1e-9 * scale);
+    }
+
+    #[test]
+    fn chunked_kahan_merge_matches_sequential_to_one_ulp(
+        values in prop::collection::vec(-1e12..1e12_f64, 0..600),
+        chunk in 1usize..64,
+    ) {
+        // The parallel reductions split a sum into fixed chunks, fold each
+        // chunk into its own accumulator, and merge in chunk order. The
+        // Kahan–Babuška–Neumaier merge must reproduce the sequential
+        // compensated sum to 1 ulp — this is load-bearing for the
+        // bit-stability claims of the SPH hot paths.
+        let mut sequential = KahanAccumulator::new();
+        for &v in &values {
+            sequential.add(v);
+        }
+        let mut merged = KahanAccumulator::new();
+        for piece in values.chunks(chunk) {
+            let mut acc = KahanAccumulator::new();
+            for &v in piece {
+                acc.add(v);
+            }
+            merged.merge(&acc);
+        }
+        let (s, m) = (sequential.total(), merged.total());
+        prop_assert!(
+            ulp_distance(s, m) <= 1,
+            "sequential {s:e} vs chunked-merged {m:e} ({} ulps apart, chunk {chunk})",
+            ulp_distance(s, m)
+        );
     }
 
     #[test]

@@ -180,9 +180,9 @@ pub fn render_table(t: &FeatureTable) -> String {
     let mut out = format!("{}\n", t.title);
     let render_row = |cells: &[&str], widths: &[usize]| -> String {
         let mut line = String::from("| ");
-        for k in 0..ncol {
+        for (k, &width) in widths.iter().enumerate().take(ncol) {
             let cell = cells.get(k).copied().unwrap_or("");
-            line.push_str(&format!("{:width$} | ", cell, width = widths[k]));
+            line.push_str(&format!("{cell:width$} | "));
         }
         line.trim_end().to_string()
     };

@@ -16,7 +16,7 @@
 use crate::octree::Octree;
 use crate::TraversalStats;
 use rayon::prelude::*;
-use sph_math::{Mat3, SymTensor3, Vec3};
+use sph_math::{Mat3, SymTensor3, Vec3, REDUCE_CHUNK};
 
 /// Expansion order of accepted cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -266,23 +266,28 @@ impl<'a> GravitySolver<'a> {
     /// particle order, skipping self-interaction. Parallel over targets.
     pub fn accelerations(&self, positions: &[Vec3]) -> (Vec<GravitySample>, TraversalStats) {
         assert_eq!(positions.len(), self.tree.len());
-        let samples: Vec<(GravitySample, TraversalStats)> = positions
-            .par_iter()
+        // Chunked map (fixed REDUCE_CHUNK boundaries) + ordered reduce of
+        // the per-chunk traversal counters.
+        let chunks: Vec<(Vec<GravitySample>, TraversalStats)> = positions
+            .par_chunks(REDUCE_CHUNK)
             .enumerate()
-            .map(|(i, &p)| {
+            .map(|(c, chunk)| {
+                let base = c * REDUCE_CHUNK;
                 let mut stats = TraversalStats::default();
-                let s = self.field_at(p, Some(i as u32), &mut stats);
-                (s, stats)
+                let samples = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(off, &p)| self.field_at(p, Some((base + off) as u32), &mut stats))
+                    .collect();
+                (samples, stats)
             })
             .collect();
         let mut merged = TraversalStats::default();
-        let out = samples
-            .into_iter()
-            .map(|(s, st)| {
-                merged.merge(&st);
-                s
-            })
-            .collect();
+        let mut out = Vec::with_capacity(positions.len());
+        for (samples, stats) in chunks {
+            merged.merge(&stats);
+            out.extend(samples);
+        }
         (out, merged)
     }
 }

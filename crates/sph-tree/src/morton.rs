@@ -54,8 +54,15 @@ pub fn decode_cell(key: u64) -> (u64, u64, u64) {
 }
 
 /// Quantise a point inside `bounds` to integer cell coordinates.
+///
+/// Non-finite coordinates abort: `NaN.clamp(0.0, 1.0)` is `NaN` and
+/// `NaN as u64` is 0, so a NaN position would silently land in cell
+/// (0, 0, 0) and scramble the octree ordering instead of failing loudly —
+/// the callers that know the particle index (octree build) check first and
+/// name the offender.
 #[inline]
 pub fn cell_of_point(p: Vec3, bounds: &Aabb) -> (u64, u64, u64) {
+    assert!(p.is_finite(), "cannot Morton-quantise non-finite point {p:?}");
     let n = bounds.normalize(p);
     let quantise = |t: f64| -> u64 {
         let clamped = t.clamp(0.0, 1.0);
@@ -145,6 +152,20 @@ mod tests {
             let cell = b.extent() / CELLS_PER_AXIS as f64;
             assert!((back - p).abs().max_component() <= cell.max_component());
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_coordinates_fail_loudly_instead_of_cell_zero() {
+        // Regression: NaN.clamp(0,1) as u64 == 0 used to map NaN silently
+        // to cell (0,0,0), scrambling the octree.
+        let _ = cell_of_point(Vec3::new(0.5, f64::NAN, 0.5), &Aabb::unit());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn infinite_coordinates_fail_loudly() {
+        let _ = encode_point(Vec3::new(f64::INFINITY, 0.5, 0.5), &Aabb::unit());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::octree::Octree;
 use crate::TraversalStats;
 use rayon::prelude::*;
-use sph_math::{Periodicity, Vec3};
+use sph_math::{Periodicity, Vec3, REDUCE_CHUNK};
 
 /// Neighbour search over a built octree.
 pub struct NeighborSearch<'a> {
@@ -28,6 +28,13 @@ impl<'a> NeighborSearch<'a> {
     /// Indices (original particle ids) of all particles within `radius` of
     /// `center`, appended to `out`. Includes the query particle itself if it
     /// is within range — SPH sums run over `j = i` too (self-contribution).
+    ///
+    /// The minimum-image metric cannot see farther than half the periodic
+    /// span, so on periodic axes the effective radius is **clamped** to just
+    /// under `span/2`. Smoothing-length iteration legitimately pushes `2h`
+    /// past that on small domains (e.g. a coarse square patch growing `h`
+    /// toward its neighbour target); aborting the whole simulation for it —
+    /// the pre-fix behaviour — turned a benign saturation into a crash.
     pub fn neighbors_within(
         &self,
         center: Vec3,
@@ -36,18 +43,24 @@ impl<'a> NeighborSearch<'a> {
         stats: &mut TraversalStats,
     ) {
         assert!(radius > 0.0 && radius.is_finite(), "bad search radius {radius}");
-        for axis in 0..3 {
-            if self.periodicity.periodic[axis] {
-                let span = self.periodicity.domain.extent().component(axis);
-                assert!(
-                    2.0 * radius <= span,
-                    "search radius {radius} exceeds half the periodic span {span} on axis {axis}"
-                );
-            }
-        }
+        let radius = self.clamp_radius(radius);
         for offset in self.periodicity.ghost_offsets(center, radius) {
             self.search_one_image(center + offset, radius, out, stats);
         }
+    }
+
+    /// Largest usable search radius: strictly below half of every periodic
+    /// span (where the minimum image becomes ambiguous), the input radius
+    /// otherwise.
+    pub fn clamp_radius(&self, radius: f64) -> f64 {
+        let mut r = radius;
+        for axis in 0..3 {
+            if self.periodicity.periodic[axis] {
+                let span = self.periodicity.domain.extent().component(axis);
+                r = r.min(0.5 * span * (1.0 - 1e-9));
+            }
+        }
+        r
     }
 
     /// Plain (non-periodic) search from one image of the centre.
@@ -106,24 +119,33 @@ impl<'a> NeighborSearch<'a> {
         radii: &[f64],
     ) -> (Vec<Vec<u32>>, TraversalStats) {
         assert_eq!(centers.len(), radii.len());
-        let results: Vec<(Vec<u32>, TraversalStats)> = centers
-            .par_iter()
-            .zip(radii.par_iter())
-            .map(|(&c, &r)| {
-                let mut out = Vec::with_capacity(96);
+        // Chunked map (fixed REDUCE_CHUNK boundaries, thread-count
+        // independent): stats fold once per chunk, lists stay per query.
+        let chunks: Vec<(Vec<Vec<u32>>, TraversalStats)> = centers
+            .par_chunks(REDUCE_CHUNK)
+            .enumerate()
+            .map(|(c, chunk)| {
+                let base = c * REDUCE_CHUNK;
                 let mut stats = TraversalStats::default();
-                self.neighbors_within(c, r, &mut out, &mut stats);
-                (out, stats)
+                let lists = chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(off, &center)| {
+                        let mut out = Vec::with_capacity(96);
+                        self.neighbors_within(center, radii[base + off], &mut out, &mut stats);
+                        out
+                    })
+                    .collect();
+                (lists, stats)
             })
             .collect();
+        // Ordered reduce.
         let mut merged = TraversalStats::default();
-        let lists = results
-            .into_iter()
-            .map(|(l, s)| {
-                merged.merge(&s);
-                l
-            })
-            .collect();
+        let mut lists = Vec::with_capacity(centers.len());
+        for (chunk_lists, stats) in chunks {
+            merged.merge(&stats);
+            lists.extend(chunk_lists);
+        }
         (lists, merged)
     }
 }
@@ -216,15 +238,40 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn radius_beyond_half_span_rejected() {
+    fn radius_beyond_half_span_is_clamped_not_rejected() {
+        // Regression: this used to `assert!(2r ≤ span)` and abort the whole
+        // simulation when smoothing-length iteration pushed 2h past half
+        // the periodic span on a small domain. It must clamp instead.
         let pts = random_points(100, 3);
         let tree = Octree::build(&pts, &Aabb::unit(), OctreeConfig::default());
         let per = Periodicity::periodic_z(Aabb::unit());
         let search = NeighborSearch::new(&tree, per);
         let mut out = Vec::new();
         let mut stats = TraversalStats::default();
-        search.neighbors_within(Vec3::splat(0.5), 0.6, &mut out, &mut stats);
+        let requested = 0.6; // 2r = 1.2 > span = 1.0
+        search.neighbors_within(Vec3::splat(0.5), requested, &mut out, &mut stats);
+        out.sort_unstable();
+        let effective = search.clamp_radius(requested);
+        assert!(effective < 0.5 && effective > 0.49);
+        assert_eq!(out, brute_force(&pts, &per, Vec3::splat(0.5), effective));
+    }
+
+    #[test]
+    fn clamp_only_affects_periodic_axes() {
+        let pts = random_points(200, 9);
+        let tree = Octree::build(&pts, &Aabb::unit(), OctreeConfig::default());
+        // Open domain: no clamping, arbitrarily large radius finds everyone.
+        let per = Periodicity::open(Aabb::unit());
+        let search = NeighborSearch::new(&tree, per);
+        assert_eq!(search.clamp_radius(5.0), 5.0);
+        let mut out = Vec::new();
+        let mut stats = TraversalStats::default();
+        search.neighbors_within(Vec3::splat(0.5), 5.0, &mut out, &mut stats);
+        assert_eq!(out.len(), pts.len());
+        // Periodic z: only the z span caps the radius.
+        let search_z = NeighborSearch::new(&tree, Periodicity::periodic_z(Aabb::unit()));
+        let clamped = search_z.clamp_radius(5.0);
+        assert!(clamped < 0.5);
     }
 
     #[test]

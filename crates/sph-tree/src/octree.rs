@@ -85,14 +85,19 @@ impl Octree {
     /// input or non-finite positions.
     pub fn build(positions: &[Vec3], bounds: &Aabb, config: OctreeConfig) -> Octree {
         assert!(!positions.is_empty(), "octree: empty particle set");
-        debug_assert!(positions.iter().all(|p| p.is_finite()), "octree: non-finite position");
         let root_cell = bounds.bounding_cube();
 
         // Phase 1: keys + parallel sort (the expensive part; Fig. 4 phase A).
+        // The finite check is a real assert (not debug): a NaN coordinate
+        // would otherwise quantise to cell 0 and scramble the tree silently,
+        // and only this loop knows which particle to blame.
         let mut keyed: Vec<(u64, u32)> = positions
             .iter()
             .enumerate()
-            .map(|(i, p)| (morton::encode_point(*p, &root_cell), i as u32))
+            .map(|(i, p)| {
+                assert!(p.is_finite(), "octree: non-finite position for particle {i}: {p:?}");
+                (morton::encode_point(*p, &root_cell), i as u32)
+            })
             .collect();
         if config.parallel_sort {
             keyed.par_sort_unstable();
@@ -378,6 +383,14 @@ mod tests {
     #[should_panic]
     fn empty_input_panics() {
         let _ = Octree::build(&[], &Aabb::unit(), OctreeConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "particle 3")]
+    fn nan_position_reports_particle_index() {
+        let mut pts = random_points(8, 44);
+        pts[3].y = f64::NAN;
+        let _ = Octree::build(&pts, &Aabb::unit(), OctreeConfig::default());
     }
 
     #[test]

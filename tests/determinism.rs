@@ -1,0 +1,120 @@
+//! Determinism across thread counts.
+//!
+//! The parallel rayon shim splits every hot loop at fixed chunk boundaries
+//! (independent of the worker count) and the call sites reduce chunk
+//! results in order, so a full time-step must produce **bit-identical**
+//! state and conservation sums under `SPH_THREADS=1`, `2`, and `7` (a
+//! non-power-of-two on purpose: it exercises ragged task distribution).
+//! This property is what keeps the sph-ft conservation-drift SDC detector
+//! meaningful — a drift can only mean corruption, never scheduling noise.
+
+use sph_exa_repro::core::diagnostics::Conservation;
+use sph_exa_repro::exa::{Simulation, SimulationBuilder};
+use sph_exa_repro::scenarios::{evrard_collapse, square_patch, EvrardConfig, SquarePatchConfig};
+use sph_exa_repro::tree::{GravityConfig, MultipoleOrder};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// Everything a step exposes, as raw bits (f64 compare would hide −0.0 /
+/// NaN mismatches and invite tolerance creep — the contract is *bit*
+/// identity).
+#[derive(Debug, PartialEq, Eq)]
+struct StepFingerprint {
+    dt: u64,
+    time: u64,
+    sph_interactions: u64,
+    nodes_visited: u64,
+    mass: u64,
+    momentum: [u64; 3],
+    angular_momentum: [u64; 3],
+    kinetic: u64,
+    internal: u64,
+    gravitational: u64,
+    state_hash: u64,
+}
+
+fn fingerprint(sim: &Simulation, dt: f64, interactions: u64, nodes: u64) -> StepFingerprint {
+    let phi_used = sim.gravity.is_some();
+    let c = if phi_used { sim.conservation() } else { Conservation::measure(&sim.sys, None) };
+    // Order-dependent FNV over every particle's full state.
+    let mut hash = 0xcbf29ce484222325u64;
+    let mut mix = |x: f64| {
+        hash ^= x.to_bits();
+        hash = hash.wrapping_mul(0x100000001b3);
+    };
+    for i in 0..sim.sys.len() {
+        for v in [sim.sys.x[i], sim.sys.v[i], sim.sys.a[i]] {
+            mix(v.x);
+            mix(v.y);
+            mix(v.z);
+        }
+        mix(sim.sys.rho[i]);
+        mix(sim.sys.h[i]);
+        mix(sim.sys.u[i]);
+        mix(sim.sys.du_dt[i]);
+    }
+    StepFingerprint {
+        dt: dt.to_bits(),
+        time: sim.sys.time.to_bits(),
+        sph_interactions: interactions,
+        nodes_visited: nodes,
+        mass: c.total_mass.to_bits(),
+        momentum: [c.momentum.x.to_bits(), c.momentum.y.to_bits(), c.momentum.z.to_bits()],
+        angular_momentum: [
+            c.angular_momentum.x.to_bits(),
+            c.angular_momentum.y.to_bits(),
+            c.angular_momentum.z.to_bits(),
+        ],
+        kinetic: c.kinetic_energy.to_bits(),
+        internal: c.internal_energy.to_bits(),
+        gravitational: c.gravitational_energy.to_bits(),
+        state_hash: hash,
+    }
+}
+
+fn square_patch_fingerprint(threads: usize) -> StepFingerprint {
+    let ic = square_patch(&SquarePatchConfig { nx: 12, nz: 12, ..SquarePatchConfig::default() });
+    let mut sim =
+        SimulationBuilder::new(ic).num_threads(threads).build().expect("square patch builds");
+    let report = sim.step();
+    fingerprint(&sim, report.dt, report.stats.sph_interactions, report.stats.neighbor.nodes_visited)
+}
+
+fn evrard_fingerprint(threads: usize) -> StepFingerprint {
+    let ic = evrard_collapse(&EvrardConfig { n_target: 1500, seed: 7, ..EvrardConfig::default() });
+    let gravity =
+        GravityConfig { g: 1.0, theta: 0.6, softening: 1e-2, order: MultipoleOrder::Quadrupole };
+    let mut sim = SimulationBuilder::new(ic)
+        .gravity(gravity)
+        .num_threads(threads)
+        .build()
+        .expect("evrard builds");
+    let report = sim.step();
+    fingerprint(&sim, report.dt, report.stats.sph_interactions, report.stats.neighbor.nodes_visited)
+}
+
+#[test]
+fn square_patch_step_is_bit_identical_across_thread_counts() {
+    let reference = square_patch_fingerprint(THREAD_COUNTS[0]);
+    for &threads in &THREAD_COUNTS[1..] {
+        let fp = square_patch_fingerprint(threads);
+        assert_eq!(
+            reference, fp,
+            "square patch step differs between SPH_THREADS={} and {}",
+            THREAD_COUNTS[0], threads
+        );
+    }
+}
+
+#[test]
+fn evrard_step_is_bit_identical_across_thread_counts() {
+    let reference = evrard_fingerprint(THREAD_COUNTS[0]);
+    for &threads in &THREAD_COUNTS[1..] {
+        let fp = evrard_fingerprint(threads);
+        assert_eq!(
+            reference, fp,
+            "Evrard step differs between SPH_THREADS={} and {}",
+            THREAD_COUNTS[0], threads
+        );
+    }
+}
