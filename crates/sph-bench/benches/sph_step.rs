@@ -60,10 +60,16 @@ fn bench_full_steps(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_step");
     group.sample_size(10);
     group.bench_function("square_sphflow", |b| {
-        b.iter_with_setup(|| build_square_sim(&sphflow(), 4_000), |mut sim| black_box(sim.step()))
+        b.iter_with_setup(
+            || build_square_sim(&sphflow(), 4_000),
+            |mut sim| black_box(sim.step().expect("stable step")),
+        )
     });
     group.bench_function("evrard_sphynx_gravity", |b| {
-        b.iter_with_setup(|| build_evrard_sim(&sphynx(), 4_000, 1), |mut sim| black_box(sim.step()))
+        b.iter_with_setup(
+            || build_evrard_sim(&sphynx(), 4_000, 1),
+            |mut sim| black_box(sim.step().expect("stable step")),
+        )
     });
     group.finish();
 }

@@ -22,7 +22,10 @@ fn bench_thread_scaling(c: &mut Criterion) {
     for threads in [1usize, 2, 4] {
         rayon::ThreadPoolBuilder::new().num_threads(threads).build_global().unwrap();
         group.bench_function(format!("square10k_t{threads}"), |b| {
-            b.iter_with_setup(|| build_square_sim(&sphflow(), N), |mut sim| black_box(sim.step()))
+            b.iter_with_setup(
+                || build_square_sim(&sphflow(), N),
+                |mut sim| black_box(sim.step().expect("stable step")),
+            )
         });
     }
     // Reset to the SPH_THREADS / hardware default for any later groups.

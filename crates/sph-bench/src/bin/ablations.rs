@@ -79,7 +79,7 @@ fn timestepping_ablation(particles: usize) {
         let mut simulated = 0.0;
         let steps = 3;
         for _ in 0..steps {
-            let r = sim.step();
+            let r = sim.step().expect("stable step");
             interactions += r.stats.sph_interactions + r.stats.gravity.total_interactions();
             active += r.active_fraction;
             simulated += r.dt;
@@ -164,7 +164,7 @@ fn main() {
     println!("ablation studies at {particles} particles\n");
     let setup = sphynx();
     let mut sim = build_evrard_sim(&setup, particles, 42);
-    sim.step();
+    sim.step().expect("stable step");
     decomposition_ablation(&sim);
     timestepping_ablation(particles.min(5_000));
     gradient_ablation(&sim);

@@ -123,7 +123,7 @@ fn main() {
     println!("step      dt        time     active   interactions   wall(s)");
     for k in 1..=args.steps {
         let t0 = std::time::Instant::now();
-        let r = sim.step();
+        let r = sim.step().expect("stable step");
         println!(
             "{:4}  {:9.3e}  {:8.5}  {:7.2}  {:>13}  {:8.3}",
             r.step,

@@ -24,7 +24,7 @@ fn analyse(setup: &CodeSetup, scenario: Scenario, scale: ExperimentScale) {
     println!("=== POP efficiency: {} / {name}, Piz Daint model ===", setup.name);
     let (mut sim, model) = wire_experiment(setup, scenario, piz_daint(), scale);
     for _ in 0..scale.steps.min(2) {
-        sim.step();
+        sim.step().expect("stable step");
     }
     let work = sim.per_particle_work().to_vec();
     let zeros = vec![0.0; sim.sys.len()];

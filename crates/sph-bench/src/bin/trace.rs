@@ -48,7 +48,7 @@ fn main() {
     // model the final step.
     let mut prev_work: Option<Vec<f64>> = None;
     for _ in 0..2.min(scale.steps) {
-        sim.step();
+        sim.step().expect("stable step");
         prev_work = Some(sim.per_particle_work().to_vec());
     }
     let work = sim.per_particle_work().to_vec();

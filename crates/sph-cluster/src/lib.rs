@@ -36,5 +36,6 @@ pub use cost::CostModel;
 pub use machine::{marenostrum4, piz_daint, MachineModel, NetworkModel};
 pub use scaling::{scaling_experiment, ScalingConfig, ScalingRow};
 pub use step_model::{
-    model_step, LoadBalancing, Partitioner, StepModelConfig, StepTiming, StepWorkload,
+    calibrate_machine, model_measured_step, model_step, LoadBalancing, MeasuredStep, Partitioner,
+    StepModelConfig, StepTiming, StepWorkload,
 };

@@ -68,7 +68,7 @@ pub fn scaling_experiment(
     let mut prev_work: Option<Vec<f64>> = None;
 
     for _ in 0..config.steps {
-        let report = sim.step();
+        let report = sim.step().expect("stable step");
         // Per-particle work for this step. Under individual time-stepping a
         // particle on rung r was evaluated 2^r times per macro step.
         let rung_factor: Vec<f64> = match sim.config.time_stepping {
@@ -162,7 +162,7 @@ pub fn weak_scaling_experiment(
         let mut comm_stats = OnlineStats::new();
         let mut prev_work: Option<Vec<f64>> = None;
         for _ in 0..steps {
-            sim.step();
+            sim.step().expect("stable step");
             let work = sim.per_particle_work().to_vec();
             let zeros = vec![0.0; n];
             let workload = StepWorkload {

@@ -109,6 +109,20 @@ struct DensityChunk {
     stats: TraversalStats,
     h_iterations: u64,
     interactions: u64,
+    max_search_radius: f64,
+}
+
+/// Upper bound on the factor by which **one** smoothing-length iteration
+/// can grow `h`: the starved-support branch grows by 1.5×, the damped
+/// fixed-point update by at most `0.5·(1 + ∛(target/2))` (its worst case,
+/// reached at the minimum neighbour count of 2 that reaches that branch).
+///
+/// Distributed halo negotiation uses this to bound the largest search
+/// radius an evaluation starting from `h` can request:
+/// `2h · bound^(max_h_iterations − 1)`.
+pub fn h_growth_bound(cfg: &SphConfig) -> f64 {
+    let fixed_point = 0.5 * (1.0 + (cfg.target_neighbors as f64 / 2.0).cbrt());
+    fixed_point.max(1.5)
 }
 
 /// Compute densities, adapted smoothing lengths, Ω terms and neighbour
@@ -150,6 +164,7 @@ pub fn compute_density(
             let mut stats = TraversalStats::default();
             let mut h_iterations = 0u64;
             let mut interactions = 0u64;
+            let mut max_search_radius = 0.0_f64;
             let rows = chunk
                 .iter()
                 .map(|&ai| {
@@ -160,8 +175,18 @@ pub fn compute_density(
                     let mut iterations = 0u64;
 
                     // --- Smoothing-length iteration (phases B–D of Fig. 4) ---
+                    // Loop invariant on exit: `neighbors` is the exact ball
+                    // query at the *final* `h` — every break happens after a
+                    // search at the current value. (The pre-fix starved
+                    // branch could break with a freshly grown `h` but the
+                    // neighbour set of the previous one, leaving the stored
+                    // h and the density sum inconsistent.) Distributed halo
+                    // symmetrisation relies on this invariant to recover a
+                    // ghost particle's gather set by one search at its
+                    // exchanged h.
                     loop {
                         neighbors.clear();
+                        max_search_radius = max_search_radius.max(SUPPORT_RADIUS * h);
                         search.neighbors_within(xi, SUPPORT_RADIUS * h, &mut neighbors, &mut stats);
                         iterations += 1;
                         let count = neighbors.len();
@@ -169,22 +194,28 @@ pub fn compute_density(
                         {
                             break;
                         }
-                        if count < 2 {
+                        let h_new = if count < 2 {
                             // Starved support: grow geometrically.
-                            h = (h * 1.5).min(h_cap);
-                            if h >= h_cap {
-                                break;
-                            }
-                            continue;
-                        }
-                        // n(h) ∝ h³ ⇒ damped fixed point of h (n_target/n)^{1/3}.
-                        let factor = (target / count as f64).cbrt();
-                        let h_new = (h * 0.5 * (1.0 + factor)).min(h_cap);
+                            (h * 1.5).min(h_cap)
+                        } else {
+                            // n(h) ∝ h³ ⇒ damped fixed point of h (n_target/n)^{1/3}.
+                            let factor = (target / count as f64).cbrt();
+                            (h * 0.5 * (1.0 + factor)).min(h_cap)
+                        };
                         if h_new == h {
                             break; // pinned at the periodic cap
                         }
                         h = h_new;
                     }
+
+                    // Canonical summation order: ascending particle index.
+                    // The tree walk yields neighbours in traversal order,
+                    // which depends on how the tree was built; sorting makes
+                    // every downstream reduction's FP rounding a function of
+                    // the particle *set* only — the property that lets a
+                    // per-rank evaluation over (owned ∪ ghost) subsets
+                    // reproduce the global sums bit-for-bit.
+                    neighbors.sort_unstable();
 
                     // --- Density sum and grad-h term over the final support ---
                     let mut rho = 0.0;
@@ -203,7 +234,7 @@ pub fn compute_density(
                     DensityRow { h, rho, omega, neighbors }
                 })
                 .collect();
-            DensityChunk { rows, stats, h_iterations, interactions }
+            DensityChunk { rows, stats, h_iterations, interactions, max_search_radius }
         })
         .collect();
 
@@ -216,6 +247,7 @@ pub fn compute_density(
         step.neighbor.merge(&chunk.stats);
         step.h_iterations += chunk.h_iterations;
         step.sph_interactions += chunk.interactions;
+        step.max_search_radius = step.max_search_radius.max(chunk.max_search_radius);
         for row in chunk.rows {
             let i = *ids.next().expect("chunk rows outnumber active ids") as usize;
             sys.h[i] = row.h;
@@ -409,6 +441,64 @@ mod tests {
         }
         for &ai in &active {
             assert!(sys.rho[ai as usize] > 0.0);
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted_ascending() {
+        // The canonical-order contract every downstream sum relies on for
+        // decomposition-independent rounding.
+        let mut sys = lattice_system(8);
+        let cfg = SphConfig { target_neighbors: 40, ..Default::default() };
+        let (lists, stats) = run_density(&mut sys, &cfg);
+        for k in 0..lists.query_count() {
+            let n = lists.neighbors(k);
+            assert!(n.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicated list at query {k}");
+        }
+        assert!(stats.max_search_radius > 0.0);
+    }
+
+    #[test]
+    fn max_search_radius_respects_the_growth_bound() {
+        // Start far below the converged h so the iteration must grow it;
+        // every radius requested along the way must stay within the
+        // analytic per-iteration growth bound — the guarantee the halo
+        // negotiation's worst-case headroom is built on.
+        let mut sys = lattice_system(10);
+        let h0 = 0.02;
+        for h in sys.h.iter_mut() {
+            *h = h0;
+        }
+        let cfg = SphConfig { target_neighbors: 60, max_h_iterations: 6, ..Default::default() };
+        let (_, stats) = run_density(&mut sys, &cfg);
+        let bound = SUPPORT_RADIUS
+            * h0
+            * h_growth_bound(&cfg).powi(cfg.max_h_iterations as i32 - 1)
+            * (1.0 + 1e-12);
+        assert!(stats.max_search_radius > SUPPORT_RADIUS * h0, "iteration never grew h");
+        assert!(
+            stats.max_search_radius <= bound,
+            "radius {} exceeds analytic bound {bound}",
+            stats.max_search_radius
+        );
+    }
+
+    #[test]
+    fn final_neighbors_match_a_fresh_search_at_final_h() {
+        // Exit invariant of the h iteration: the stored h and the returned
+        // neighbour set are consistent — one frozen search at the final h
+        // reproduces the list exactly (the property halo symmetrisation
+        // uses to recover ghost gather sets).
+        let mut sys = lattice_system(9);
+        let cfg = SphConfig { target_neighbors: 50, max_h_iterations: 4, ..Default::default() };
+        let (lists, _) = run_density(&mut sys, &cfg);
+        let frozen = SphConfig { max_h_iterations: 1, ..cfg };
+        let mut again = sys.clone();
+        let (lists2, _) = run_density(&mut again, &frozen);
+        for k in 0..lists.query_count() {
+            assert_eq!(lists.neighbors(k), lists2.neighbors(k), "particle {k}");
+            assert_eq!(sys.h[k], again.h[k]);
+            assert_eq!(sys.rho[k], again.rho[k]);
         }
     }
 

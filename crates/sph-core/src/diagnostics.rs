@@ -137,6 +137,32 @@ pub fn momentum_scale(sys: &ParticleSystem) -> f64 {
     acc.total()
 }
 
+/// Order-dependent FNV-1a over every particle's full dynamic state
+/// (x, v, a, ρ, h, u, u̇) plus the simulation clock, at the *bit* level —
+/// so −0.0/NaN mismatches and tolerance creep cannot hide. This is the
+/// one fingerprint the determinism and distributed-equivalence suites
+/// compare: two runs agree iff every bit of physics agrees.
+pub fn state_fingerprint(sys: &ParticleSystem) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    let mut mix = |x: f64| {
+        hash ^= x.to_bits();
+        hash = hash.wrapping_mul(0x100000001b3);
+    };
+    for i in 0..sys.len() {
+        for v in [sys.x[i], sys.v[i], sys.a[i]] {
+            mix(v.x);
+            mix(v.y);
+            mix(v.z);
+        }
+        mix(sys.rho[i]);
+        mix(sys.h[i]);
+        mix(sys.u[i]);
+        mix(sys.du_dt[i]);
+    }
+    mix(sys.time);
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

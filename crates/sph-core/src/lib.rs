@@ -50,6 +50,11 @@ pub struct StepStats {
     /// Number of particles that were active this step (== n for global
     /// time-stepping; a subset under individual/block time-stepping).
     pub active_particles: u64,
+    /// Largest neighbour-search radius requested during the evaluation
+    /// (the smoothing-length iteration can grow it past `2·h₀`). A
+    /// distributed run's halo import is sufficient iff its radius covers
+    /// this value — the quantity the halo-retry negotiation reduces over.
+    pub max_search_radius: f64,
 }
 
 impl StepStats {
@@ -59,5 +64,6 @@ impl StepStats {
         self.sph_interactions += o.sph_interactions;
         self.gravity.merge(&o.gravity);
         self.active_particles += o.active_particles;
+        self.max_search_radius = self.max_search_radius.max(o.max_search_radius);
     }
 }

@@ -12,6 +12,71 @@ use crate::Decomposition;
 use rayon::prelude::*;
 use sph_math::{Periodicity, Vec3, REDUCE_CHUNK};
 
+/// Conservative halo-radius negotiation.
+///
+/// A rank's halo import is sufficient iff it contains every remote
+/// particle any of its neighbour searches can reach. Two things set that
+/// reach: the largest smoothing length *anywhere* (a remote particle's
+/// support `2h_j` must find owned particles for the symmetric force
+/// pairs), and the headroom the smoothing-length iteration needs, since it
+/// may *grow* `h` — and therefore the search radius — before converging.
+///
+/// The policy captures both: `radius = support · max_h · g^steps`, where
+/// `g` bounds the per-iteration growth (e.g.
+/// `sph_core::density::h_growth_bound`) and `steps` is how many growth
+/// iterations to budget for. Drivers and tests share this one
+/// implementation instead of hand-rolled over-estimates; a driver that
+/// additionally *verifies* coverage (via the measured
+/// `StepStats::max_search_radius`) can start from a small `steps` and
+/// renegotiate on a miss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HaloRadiusPolicy {
+    /// Kernel support radius in units of `h` (2.0 for the standard
+    /// compact kernels).
+    pub support_radius: f64,
+    /// Upper bound on the factor one smoothing-length iteration can grow
+    /// `h` by (1.0 = frozen h).
+    pub growth_per_iteration: f64,
+    /// Number of growth iterations budgeted for.
+    pub growth_steps: u32,
+}
+
+impl HaloRadiusPolicy {
+    /// Policy for an evaluation at frozen smoothing lengths (no
+    /// iteration headroom): `radius = support · max_h` exactly.
+    pub fn frozen(support_radius: f64) -> Self {
+        HaloRadiusPolicy { support_radius, growth_per_iteration: 1.0, growth_steps: 0 }
+    }
+
+    /// Policy with `steps` iterations of headroom at growth bound `g`.
+    pub fn with_headroom(support_radius: f64, g: f64, steps: u32) -> Self {
+        assert!(g >= 1.0, "growth bound {g} < 1 cannot bound a growing iteration");
+        HaloRadiusPolicy { support_radius, growth_per_iteration: g, growth_steps: steps }
+    }
+
+    /// The multiplicative iteration headroom `g^steps`.
+    pub fn headroom(&self) -> f64 {
+        self.growth_per_iteration.powi(self.growth_steps as i32)
+    }
+
+    /// Halo radius for a given maximum smoothing length.
+    pub fn radius_for(&self, max_h: f64) -> f64 {
+        assert!(max_h > 0.0 && max_h.is_finite(), "bad max_h {max_h}");
+        assert!(self.support_radius > 0.0);
+        self.support_radius * max_h * self.headroom()
+    }
+
+    /// The collective step of the negotiation: reduce the per-rank maxima
+    /// of the *owned* smoothing lengths (ranks that own nothing report
+    /// 0.0) and apply the policy to the global maximum. Every rank must
+    /// use the globally negotiated radius — a rank's ghosts are bounded by
+    /// *other* ranks' supports, not its own.
+    pub fn negotiate(&self, per_rank_max_h: &[f64]) -> f64 {
+        let max_h = per_rank_max_h.iter().cloned().fold(0.0, f64::max);
+        self.radius_for(max_h)
+    }
+}
+
 /// The halo exchange pattern for one decomposition.
 #[derive(Debug, Clone)]
 pub struct HaloExchange {
@@ -211,6 +276,40 @@ mod tests {
         let f2 = frac(2);
         let f16 = frac(16);
         assert!(f16 > 1.5 * f2, "halo fraction: 2 ranks {f2}, 16 ranks {f16}");
+    }
+
+    #[test]
+    fn frozen_policy_is_exactly_the_support_radius() {
+        let p = HaloRadiusPolicy::frozen(2.0);
+        assert_eq!(p.headroom(), 1.0);
+        assert_eq!(p.radius_for(0.25), 0.5);
+    }
+
+    #[test]
+    fn headroom_compounds_per_iteration() {
+        let p = HaloRadiusPolicy::with_headroom(2.0, 1.5, 3);
+        assert!((p.headroom() - 3.375).abs() < 1e-15);
+        assert!((p.radius_for(0.1) - 2.0 * 0.1 * 3.375).abs() < 1e-15);
+        // More budgeted iterations can only widen the halo.
+        let wider = HaloRadiusPolicy::with_headroom(2.0, 1.5, 4);
+        assert!(wider.radius_for(0.1) > p.radius_for(0.1));
+    }
+
+    #[test]
+    fn negotiation_takes_the_global_max_h() {
+        // Rank 2 owns nothing (reports 0); the winner is rank 1's 0.3 —
+        // every rank must budget for the *largest* remote support.
+        let p = HaloRadiusPolicy::frozen(2.0);
+        let r = p.negotiate(&[0.1, 0.3, 0.0, 0.2]);
+        assert_eq!(r, 0.6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negotiation_rejects_degenerate_h() {
+        // All ranks empty (or h wiped to zero) — a halo radius of zero
+        // would silently produce empty imports and wrong physics.
+        HaloRadiusPolicy::frozen(2.0).negotiate(&[0.0, 0.0]);
     }
 
     #[test]

@@ -9,6 +9,53 @@
 //! simulator uses to account communication volume, and the quality metrics
 //! (imbalance, surface/volume, halo fraction) that explain the
 //! load-balance differences measured in §5.2.
+//!
+//! # The rank / halo / migration protocol
+//!
+//! The distributed step driver (`sph_exa::DistributedSimulation`) runs
+//! Algorithm 1 per rank over these primitives. One macro-step is a
+//! sequence of bulk-synchronous supersteps:
+//!
+//! 1. **Halo negotiation** — each rank reports the maximum smoothing
+//!    length of its *owned* particles; [`HaloRadiusPolicy::negotiate`]
+//!    reduces them to one conservative import radius (support radius ×
+//!    global max h × iteration headroom). [`halo_sets`] then yields, per
+//!    rank, the remote particles within that radius of its bounding box.
+//! 2. **Collective h-iteration + density** — every rank adapts h and sums
+//!    density for its owned particles over (owned ∪ ghost) only. The
+//!    largest search radius actually requested is reduced globally
+//!    (`StepStats::max_search_radius`); if it exceeds the negotiated
+//!    radius, the exchange is *renegotiated* at the observed radius and
+//!    the phase re-runs — coverage is verified, never assumed.
+//! 3. **Ghost-field refresh between kernels** — volume elements, IAD
+//!    matrices, EOS outputs and velocity gradients each read neighbour
+//!    fields computed by the owners in the previous superstep, so ghost
+//!    copies are refreshed (the exchange a real MPI code would post)
+//!    before each kernel.
+//! 4. **Forces** — the symmetric pair closure needs gather lists of the
+//!    ghosts too; each rank recovers them with one frozen search at the
+//!    ghost's exchanged h (valid because the h-iteration's exit invariant
+//!    ties the final h to its exact ball query).
+//! 5. **dt reduction, kick/drift** — the per-particle bounds reduce by an
+//!    exact `min` (order-independent), then each rank integrates its
+//!    owned particles.
+//! 6. **Migration** — particles that drifted out of their rank's box
+//!    (captured by [`orb::rank_boxes`] at decomposition time) are
+//!    reassigned to the nearest box, with ties to the lowest rank;
+//!    every `rebalance_every` steps the decomposition is rebuilt from
+//!    scratch with the measured per-particle work as weights.
+//!
+//! # Determinism contract
+//!
+//! Ownership never affects values: SPH sums iterate neighbours in
+//! **ascending global-index order** (the density pass sorts its gather
+//! lists; the symmetric force closure is sorted by construction), and
+//! each rank's local particle set is kept sorted by global id so local
+//! order ≡ global order. Every per-particle quantity therefore rounds
+//! identically no matter which rank computes it or how many threads it
+//! uses — full-state fingerprints are bit-identical across rank counts
+//! *and* `SPH_THREADS`, which is what lets one `sph-ft` conservation
+//! checksum govern a whole distributed run.
 
 pub mod halo;
 pub mod hilbert;
@@ -17,7 +64,7 @@ pub mod orb;
 pub mod sfc;
 pub mod slab;
 
-pub use halo::{halo_sets, HaloExchange};
+pub use halo::{halo_sets, HaloExchange, HaloRadiusPolicy};
 pub use metrics::DecompositionMetrics;
 pub use orb::orb_partition;
 pub use sfc::{sfc_partition, SfcKind};

@@ -19,6 +19,10 @@
 //! self-gravity, per-phase wall-clock timing and per-particle work
 //! accounting (the input of the cluster performance model).
 
+pub mod distributed;
 pub mod simulation;
 
+pub use distributed::{
+    DistributedBuilder, DistributedConfig, DistributedSimulation, ExchangeLog, RankPartitioner,
+};
 pub use simulation::{Simulation, SimulationBuilder, StepReport};

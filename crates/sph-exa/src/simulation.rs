@@ -9,7 +9,7 @@ use sph_core::gradients::{compute_iad_matrices, compute_velocity_gradients};
 use sph_core::integrator::{drift, kick};
 use sph_core::particles::ParticleSystem;
 use sph_core::timestep::{
-    active_at_substep, adaptive_dt, assign_rungs, global_dt, per_particle_dt,
+    active_at_substep, adaptive_dt, assign_rungs, global_dt, per_particle_dt, TimeStepError,
 };
 use sph_core::volume::compute_volume_elements;
 use sph_core::StepStats;
@@ -262,7 +262,13 @@ impl Simulation {
     }
 
     /// Execute one macro time-step (Algorithm 1 steps 1–6).
-    pub fn step(&mut self) -> StepReport {
+    ///
+    /// A pathological time-step state (NaN-poisoned acceleration, infinite
+    /// sound speed, …) is surfaced as a [`TimeStepError`] instead of
+    /// aborting the process — the caller can checkpoint-restore or shrink
+    /// the step. The simulation state is left as of the failed criterion
+    /// evaluation (no kick/drift has happened).
+    pub fn step(&mut self) -> Result<StepReport, TimeStepError> {
         let n = self.sys.len();
         let all: Vec<u32> = (0..n as u32).collect();
         let mut stats = StepStats::default();
@@ -276,9 +282,9 @@ impl Simulation {
                     self.timers.time(Phase::Update, || per_particle_dt(&self.sys, &self.config));
                 let dt = match self.config.time_stepping {
                     TimeStepping::Adaptive { growth_limit } => {
-                        adaptive_dt(&dts, self.dt_prev, growth_limit)
+                        adaptive_dt(&dts, self.dt_prev, growth_limit)?
                     }
-                    _ => global_dt(&dts),
+                    _ => global_dt(&dts)?,
                 };
                 // KDK leapfrog.
                 self.timers.time(Phase::Update, || {
@@ -292,14 +298,14 @@ impl Simulation {
                 self.dt_prev = dt;
                 self.sys.time += dt;
                 self.sys.step_count += 1;
-                StepReport {
+                Ok(StepReport {
                     step: self.sys.step_count,
                     dt,
                     time: self.sys.time,
                     stats,
                     substeps: 1,
                     active_fraction: 1.0,
-                }
+                })
             }
             TimeStepping::Individual { max_rungs } => {
                 // Block time-steps (ChaNGa): assign power-of-two rungs from
@@ -307,7 +313,7 @@ impl Simulation {
                 // dt_max in 2^deepest substeps, evaluating derivatives only
                 // for the particles active at each substep.
                 let dts = per_particle_dt(&self.sys, &self.config);
-                let dt_min = global_dt(&dts);
+                let dt_min = global_dt(&dts)?;
                 let finite_max =
                     dts.iter().cloned().filter(|d| d.is_finite()).fold(dt_min, f64::max);
                 // Macro step: largest power-of-two multiple of dt_min that
@@ -348,20 +354,21 @@ impl Simulation {
                 self.dt_prev = dt_max;
                 self.sys.time += dt_max;
                 self.sys.step_count += 1;
-                StepReport {
+                Ok(StepReport {
                     step: self.sys.step_count,
                     dt: dt_max,
                     time: self.sys.time,
                     stats,
                     substeps: substeps as u32,
                     active_fraction: active_total as f64 / (substeps * n as u64) as f64,
-                }
+                })
             }
         }
     }
 
-    /// Run `n_steps` macro steps, collecting reports.
-    pub fn run(&mut self, n_steps: usize) -> Vec<StepReport> {
+    /// Run `n_steps` macro steps, collecting reports; stops at the first
+    /// time-step error.
+    pub fn run(&mut self, n_steps: usize) -> Result<Vec<StepReport>, TimeStepError> {
         (0..n_steps).map(|_| self.step()).collect()
     }
 }
@@ -408,7 +415,7 @@ mod tests {
     #[test]
     fn single_step_advances_time() {
         let mut sim = Simulation::new(gas_ball(400, 2), quick_config()).unwrap();
-        let r = sim.step();
+        let r = sim.step().unwrap();
         assert!(r.dt > 0.0);
         assert_eq!(r.step, 1);
         assert!((sim.sys.time - r.dt).abs() < 1e-15);
@@ -424,7 +431,7 @@ mod tests {
         let mut sim = Simulation::new(gas_ball(500, 3), quick_config()).unwrap();
         let e0 = sim.conservation();
         for _ in 0..5 {
-            sim.step();
+            sim.step().unwrap();
         }
         let e1 = sim.conservation();
         assert!(e1.kinetic_energy > e0.kinetic_energy, "ball must accelerate outward");
@@ -439,7 +446,7 @@ mod tests {
         let scale = {
             // After a few steps there is real momentum flow to compare to.
             for _ in 0..3 {
-                sim.step();
+                sim.step().unwrap();
             }
             sph_core::diagnostics::momentum_scale(&sim.sys)
         };
@@ -463,11 +470,11 @@ mod tests {
             GravityConfig { g: 1.0, theta: 0.6, softening: 0.05, order: MultipoleOrder::Monopole };
         let mut sim =
             SimulationBuilder::new(sys).config(quick_config()).gravity(gravity).build().unwrap();
-        sim.step(); // populates potentials
+        sim.step().unwrap(); // populates potentials
         let c0 = sim.conservation();
         assert!(c0.gravitational_energy < 0.0);
         for _ in 0..5 {
-            sim.step();
+            sim.step().unwrap();
         }
         let c1 = sim.conservation();
         assert!(c1.kinetic_energy > c0.kinetic_energy, "collapse must gain KE");
@@ -482,8 +489,8 @@ mod tests {
         let mut cfg = quick_config();
         cfg.time_stepping = TimeStepping::Adaptive { growth_limit: 1.05 };
         let mut sim = Simulation::new(gas_ball(300, 6), cfg).unwrap();
-        let r1 = sim.step();
-        let r2 = sim.step();
+        let r1 = sim.step().unwrap();
+        let r2 = sim.step().unwrap();
         assert!(r2.dt <= r1.dt * 1.05 + 1e-12, "dt grew too fast: {} → {}", r1.dt, r2.dt);
     }
 
@@ -501,7 +508,7 @@ mod tests {
         let mut cfg = quick_config();
         cfg.time_stepping = TimeStepping::Individual { max_rungs: 4 };
         let mut sim = Simulation::new(sys, cfg).unwrap();
-        let r = sim.step();
+        let r = sim.step().unwrap();
         assert!(r.substeps > 1, "expected rung spread, got {} substeps", r.substeps);
         assert!(
             r.active_fraction < 0.9,
@@ -514,14 +521,14 @@ mod tests {
     #[test]
     fn per_particle_work_is_positive_after_step() {
         let mut sim = Simulation::new(gas_ball(300, 8), quick_config()).unwrap();
-        sim.step();
+        sim.step().unwrap();
         assert!(sim.per_particle_work().iter().all(|&w| w > 0.0));
     }
 
     #[test]
     fn timers_accumulate_phases() {
         let mut sim = Simulation::new(gas_ball(300, 9), quick_config()).unwrap();
-        sim.step();
+        sim.step().unwrap();
         assert!(sim.timers().get(Phase::TreeBuild) > 0.0);
         assert!(sim.timers().get(Phase::Density) > 0.0);
         assert!(sim.timers().get(Phase::Momentum) > 0.0);
@@ -529,9 +536,23 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_state_surfaces_error_instead_of_abort() {
+        let mut sim = Simulation::new(gas_ball(300, 11), quick_config()).unwrap();
+        sim.step().unwrap();
+        let time_before = sim.sys.time;
+        // NaN-poison one acceleration (a stand-in for silent memory
+        // corruption); the next step must fail loudly — the pre-fix
+        // assert! aborted the process — and must not advance the clock.
+        sim.sys.a[7] = Vec3::new(f64::NAN, 0.0, 0.0);
+        let err = sim.step().unwrap_err();
+        assert!(matches!(err, TimeStepError::NonFinite { particle: 7 }), "{err}");
+        assert_eq!(sim.sys.time, time_before, "failed step must not advance time");
+    }
+
+    #[test]
     fn run_produces_reports() {
         let mut sim = Simulation::new(gas_ball(300, 10), quick_config()).unwrap();
-        let reports = sim.run(3);
+        let reports = sim.run(3).unwrap();
         assert_eq!(reports.len(), 3);
         assert!(reports.windows(2).all(|w| w[1].time > w[0].time));
     }

@@ -24,12 +24,28 @@ pub trait CheckpointStore {
     fn invalidate(&mut self, label: &str);
     /// Drop everything (tier-wide loss).
     fn invalidate_all(&mut self);
+
+    /// Persist an opaque byte blob under `label` — metadata that travels
+    /// with snapshots but is not itself a [`ParticleSystem`] (e.g. the
+    /// per-rank manifest of a distributed checkpoint). Blobs live in a
+    /// separate namespace from snapshots and do not appear in
+    /// [`CheckpointStore::labels`]. Stores may not support blobs; the
+    /// default refuses.
+    fn save_blob(&mut self, _label: &str, _bytes: &[u8]) -> Result<usize, String> {
+        Err("this checkpoint store does not support raw blobs".to_string())
+    }
+
+    /// Restore a blob saved with [`CheckpointStore::save_blob`].
+    fn restore_blob(&self, label: &str) -> Result<Vec<u8>, String> {
+        Err(format!("no blob '{label}': this checkpoint store does not support raw blobs"))
+    }
 }
 
 /// In-memory store: the "L1 node-local" tier.
 #[derive(Debug, Default)]
 pub struct MemoryStore {
-    blobs: BTreeMap<String, Vec<u8>>,
+    snapshots: BTreeMap<String, Vec<u8>>,
+    raw_blobs: BTreeMap<String, Vec<u8>>,
 }
 
 impl MemoryStore {
@@ -42,25 +58,36 @@ impl CheckpointStore for MemoryStore {
     fn save(&mut self, label: &str, sys: &ParticleSystem) -> Result<usize, String> {
         let bytes = encode(sys);
         let size = bytes.len();
-        self.blobs.insert(label.to_string(), bytes);
+        self.snapshots.insert(label.to_string(), bytes);
         Ok(size)
     }
 
     fn restore(&self, label: &str) -> Result<ParticleSystem, String> {
-        let bytes = self.blobs.get(label).ok_or_else(|| format!("no checkpoint '{label}'"))?;
+        let bytes = self.snapshots.get(label).ok_or_else(|| format!("no checkpoint '{label}'"))?;
         decode(bytes).map_err(|e: CodecError| e.to_string())
     }
 
     fn labels(&self) -> Vec<String> {
-        self.blobs.keys().cloned().collect()
+        self.snapshots.keys().cloned().collect()
     }
 
     fn invalidate(&mut self, label: &str) {
-        self.blobs.remove(label);
+        self.snapshots.remove(label);
+        self.raw_blobs.remove(label);
     }
 
     fn invalidate_all(&mut self) {
-        self.blobs.clear();
+        self.snapshots.clear();
+        self.raw_blobs.clear();
+    }
+
+    fn save_blob(&mut self, label: &str, bytes: &[u8]) -> Result<usize, String> {
+        self.raw_blobs.insert(label.to_string(), bytes.to_vec());
+        Ok(bytes.len())
+    }
+
+    fn restore_blob(&self, label: &str) -> Result<Vec<u8>, String> {
+        self.raw_blobs.get(label).cloned().ok_or_else(|| format!("no blob '{label}'"))
     }
 }
 
@@ -85,6 +112,10 @@ impl DiskStore {
             .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
             .collect();
         self.dir.join(format!("{safe}.sphcp"))
+    }
+
+    fn blob_path_of(&self, label: &str) -> PathBuf {
+        self.path_of(label).with_extension("sphblob")
     }
 }
 
@@ -130,12 +161,42 @@ impl CheckpointStore for DiskStore {
 
     fn invalidate(&mut self, label: &str) {
         let _ = std::fs::remove_file(self.path_of(label));
+        let _ = std::fs::remove_file(self.blob_path_of(label));
     }
 
     fn invalidate_all(&mut self) {
         for l in self.labels() {
             self.invalidate(&l);
         }
+        // Blobs may exist without a same-named snapshot.
+        if let Ok(rd) = std::fs::read_dir(&self.dir) {
+            for e in rd.filter_map(|e| e.ok()) {
+                if e.file_name().to_string_lossy().ends_with(".sphblob") {
+                    let _ = std::fs::remove_file(e.path());
+                }
+            }
+        }
+    }
+
+    fn save_blob(&mut self, label: &str, bytes: &[u8]) -> Result<usize, String> {
+        let path = self.blob_path_of(label);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| e.to_string())?;
+            f.write_all(bytes).map_err(|e| e.to_string())?;
+            f.sync_all().map_err(|e| e.to_string())?;
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| e.to_string())?;
+        Ok(bytes.len())
+    }
+
+    fn restore_blob(&self, label: &str) -> Result<Vec<u8>, String> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(self.blob_path_of(label))
+            .map_err(|e| format!("no blob '{label}': {e}"))?
+            .read_to_end(&mut bytes)
+            .map_err(|e| e.to_string())?;
+        Ok(bytes)
     }
 }
 

@@ -55,6 +55,16 @@ impl PhaseTimers {
         Phase::all().iter().map(|&p| (p, acc[Self::index(p)])).collect()
     }
 
+    /// Fold another timer's accumulators into this one — e.g. aggregating
+    /// the per-rank timers of a distributed run into one global view.
+    pub fn merge_from(&self, other: &PhaseTimers) {
+        let theirs = *other.acc.lock();
+        let mut acc = self.acc.lock();
+        for (a, t) in acc.iter_mut().zip(theirs) {
+            *a += t;
+        }
+    }
+
     /// Reset all accumulators.
     pub fn reset(&self) {
         *self.acc.lock() = [0.0; 10];
@@ -97,6 +107,23 @@ mod tests {
         timers.add(Phase::Update, 1.0);
         assert_eq!(timers.get(Phase::TreeBuild), 2.0);
         assert_eq!(timers.total(), 3.0);
+    }
+
+    #[test]
+    fn merge_from_folds_per_rank_timers() {
+        let rank0 = PhaseTimers::new();
+        rank0.add(Phase::Density, 1.0);
+        rank0.add(Phase::Update, 0.25);
+        let rank1 = PhaseTimers::new();
+        rank1.add(Phase::Density, 2.0);
+        rank1.add(Phase::Gravity, 0.5);
+        let agg = PhaseTimers::new();
+        agg.merge_from(&rank0);
+        agg.merge_from(&rank1);
+        assert_eq!(agg.get(Phase::Density), 3.0);
+        assert_eq!(agg.get(Phase::Gravity), 0.5);
+        assert_eq!(agg.get(Phase::Update), 0.25);
+        assert_eq!(agg.total(), 3.75);
     }
 
     #[test]

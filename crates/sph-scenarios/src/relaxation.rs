@@ -88,7 +88,7 @@ pub fn relax_to_glass(
         steps += 1;
         // Damped pseudo-dynamics: kick by a, damp, drift, refreeze u.
         let dts = sph_core::timestep::per_particle_dt(&sim.sys, sph);
-        let dt = sph_core::timestep::global_dt(&dts);
+        let dt = sph_core::timestep::global_dt(&dts).map_err(|e| e.to_string())?;
         for i in 0..sim.sys.len() {
             let a = sim.sys.a[i];
             sim.sys.v[i] = (sim.sys.v[i] + a * dt) * (1.0 - config.damping);

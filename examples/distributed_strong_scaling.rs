@@ -1,0 +1,114 @@
+//! Multi-rank distributed stepping, end to end: run the same square patch
+//! on 1, 2 and 4 in-process ranks, verify the full-state fingerprints are
+//! bit-identical, then feed the *measured* decomposition, halo volumes
+//! and per-rank timings into the cluster step model — the Figs. 1–3
+//! machinery calibrated by a real multi-rank execution instead of
+//! estimates.
+//!
+//! ```text
+//! cargo run --release --example distributed_strong_scaling
+//! ```
+
+use sph_exa_repro::cluster::{
+    calibrate_machine, model_measured_step, piz_daint, LoadBalancing, MeasuredStep, Partitioner,
+    StepModelConfig,
+};
+use sph_exa_repro::core::config::SphConfig;
+use sph_exa_repro::core::diagnostics::state_fingerprint as fingerprint;
+use sph_exa_repro::exa::{DistributedBuilder, DistributedConfig};
+use sph_exa_repro::parents::sphflow;
+use sph_exa_repro::profiler::Phase;
+use sph_exa_repro::scenarios::{square_patch, SquarePatchConfig};
+
+fn main() {
+    let nx = 14;
+    let scenario = SquarePatchConfig { nx, nz: nx, ..Default::default() };
+    let sph = SphConfig {
+        gamma: scenario.gamma,
+        target_neighbors: 60,
+        max_h_iterations: 6,
+        ..Default::default()
+    };
+    let steps = 5;
+    println!("distributed square patch, {} particles, {steps} macro-steps\n", nx * nx * nx);
+
+    let mut reference_fp = None;
+    for nranks in [1usize, 2, 4] {
+        let mut sim = DistributedBuilder::new(square_patch(&scenario))
+            .config(sph)
+            .distributed(DistributedConfig { nranks, rebalance_every: 3, ..Default::default() })
+            .build()
+            .expect("valid distributed setup");
+        // Warm up, then reset the per-rank timers so they cover exactly
+        // one macro-step — the contract `calibrate_machine` expects.
+        sim.run(steps - 1).expect("stable run");
+        for t in sim.timers() {
+            t.reset();
+        }
+        sim.run(1).expect("stable final step");
+        let fp = fingerprint(&sim.sys);
+        match reference_fp {
+            None => reference_fp = Some(fp),
+            Some(want) => assert_eq!(fp, want, "rank count changed the physics bits!"),
+        }
+
+        let log = sim.exchange_log();
+        println!(
+            "nranks={nranks}: fingerprint {fp:#018x}  imbalance {:.3}  ghosts/step {:.0}  \
+             migrations {}  renegotiations {}  rebalances {}",
+            sim.imbalance(),
+            log.ghosts_imported as f64 / log.density_attempts.max(1) as f64,
+            log.migrations,
+            log.renegotiations,
+            log.rebalances,
+        );
+        for (r, t) in sim.timers().iter().enumerate() {
+            println!(
+                "  rank {r}: density {:.3}s  gradients {:.3}s  momentum {:.3}s  total {:.3}s",
+                t.get(Phase::Density),
+                t.get(Phase::Gradients),
+                t.get(Phase::Momentum),
+                t.total(),
+            );
+        }
+
+        // Feed the measured exchange into the cluster model: same step, as
+        // it would cost on Piz Daint with the SPH-flow cost model, with the
+        // core rate calibrated from this host's measured per-rank seconds.
+        if nranks > 1 {
+            let setup = sphflow();
+            let halos = sim.last_exchange().expect("multi-rank exchange").clone();
+            let measured = MeasuredStep {
+                decomposition: sim.decomposition(),
+                halos: &halos,
+                work: sim.per_particle_work(),
+            };
+            let per_rank_seconds: Vec<f64> = sim.timers().iter().map(|t| t.total()).collect();
+            let cost = setup.cost_for(sph_exa_repro::parents::Scenario::SquarePatch);
+            let machine = calibrate_machine(piz_daint(), &cost, &measured, &per_rank_seconds);
+            let model = StepModelConfig {
+                partitioner: Partitioner::Orb,
+                balancing: LoadBalancing::Dynamic,
+                machine,
+                cost,
+            };
+            let t = model_measured_step(&measured, &model);
+            println!(
+                "  modelled on {} (calibrated {:.2} GF/s/core): compute {:.3e}s  comm {:.3e}s  \
+                 collective {:.3e}s  halo {} particles  LB {:.3}",
+                machine.name,
+                machine.core_gflops,
+                t.compute_max(),
+                t.comm,
+                t.collective,
+                t.halo_volume,
+                t.load_balance(),
+            );
+        }
+        println!();
+    }
+    println!(
+        "all rank counts produced the same fingerprint: decomposition, migration and \
+         rebalancing changed where particles were computed, never what was computed."
+    );
+}

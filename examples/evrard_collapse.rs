@@ -39,7 +39,7 @@ fn main() {
         .expect("valid setup");
 
     // First derivative evaluation populates the measured potentials.
-    sim.step();
+    sim.step().expect("stable step");
     let c0 = sim.conservation();
     println!(
         "measured  initial gravitational energy: W  = {:.4} (tree, quadrupole, θ = {})\n",
@@ -49,7 +49,7 @@ fn main() {
 
     println!("step    time     kinetic   internal    gravit.   total     central ρ");
     for step in 1..=20 {
-        sim.step();
+        sim.step().expect("stable step");
         if step % 2 == 0 {
             let c = sim.conservation();
             let rho_c = central_density(&sim);

@@ -20,14 +20,14 @@ fn main() {
     let cfg = EvrardConfig { n_target: 2_000, ..Default::default() };
     let config = SphConfig { target_neighbors: 50, ..Default::default() };
     let mut sim = Simulation::new(evrard_collapse(&cfg), config).expect("valid");
-    sim.run(3);
+    sim.run(3).expect("stable steps");
 
     let mut store = MemoryStore::new();
     let bytes = store.save("step-3", &sim.sys).expect("save");
     println!("checkpoint at step 3: {bytes} bytes for {} particles", sim.sys.len());
 
     // Continue the "original" run.
-    sim.run(2);
+    sim.run(2).expect("stable steps");
     let original_positions = sim.sys.x.clone();
 
     // Restore and replay the same two steps. `resume` (not `new`) keeps
@@ -35,7 +35,7 @@ fn main() {
     // the replay bit-exact.
     let restored = store.restore("step-3").expect("restore");
     let mut replay = Simulation::resume(restored, config).expect("valid");
-    replay.run(2);
+    replay.run(2).expect("stable steps");
     let max_dev = replay
         .sys
         .x

@@ -29,7 +29,7 @@ fn main() {
             .build()
             .expect("valid");
         let start = std::time::Instant::now();
-        let report = sim.step();
+        let report = sim.step().expect("stable step");
         let wall = start.elapsed().as_secs_f64();
 
         // Model the same step at 96 cores of Piz Daint with this code's

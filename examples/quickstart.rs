@@ -40,7 +40,7 @@ fn main() {
     let initial = sim.conservation();
     println!("step      dt        time    kinetic   internal   total-E   drift");
     for _ in 0..10 {
-        let report = sim.step();
+        let report = sim.step().expect("stable step");
         let c = sim.conservation();
         println!(
             "{:4}  {:9.2e}  {:7.4}  {:8.5}  {:9.5}  {:8.5}  {:8.1e}",

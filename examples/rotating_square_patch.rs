@@ -43,7 +43,7 @@ fn main() {
     let p_back = cfg.background_pressure * cfg.rho0 * cfg.omega * cfg.omega * cfg.side * cfg.side;
     println!("\nstep     dt       time     Lz/Lz0    P<Pback    max|ρ-ρ0|/ρ0");
     for step in 1..=20 {
-        sim.step();
+        sim.step().expect("stable step");
         let neg_p = sim.sys.p.iter().filter(|&&p| p < p_back).count() as f64 / sim.sys.len() as f64;
         let max_drho =
             sim.sys.rho.iter().map(|&r| (r - cfg.rho0).abs() / cfg.rho0).fold(0.0, f64::max);

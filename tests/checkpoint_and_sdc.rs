@@ -16,14 +16,14 @@ fn restart_is_bit_exact_for_the_square_patch() {
     let cfg = SquarePatchConfig { nx: 10, nz: 10, ..Default::default() };
     let sph = SphConfig { gamma: cfg.gamma, ..small_config() };
     let mut original = Simulation::new(square_patch(&cfg), sph).unwrap();
-    original.run(2);
+    original.run(2).expect("stable steps");
 
     let mut store = MemoryStore::new();
     store.save("mid", &original.sys).unwrap();
-    original.run(3);
+    original.run(3).expect("stable steps");
 
     let mut replay = Simulation::resume(store.restore("mid").unwrap(), sph).unwrap();
-    replay.run(3);
+    replay.run(3).expect("stable steps");
 
     for i in 0..original.sys.len() {
         assert_eq!(original.sys.x[i], replay.sys.x[i], "position {i} diverged");
@@ -43,10 +43,10 @@ fn restart_is_bit_exact_with_gravity() {
         .gravity(setup.gravity.unwrap())
         .build()
         .unwrap();
-    original.run(2);
+    original.run(2).expect("stable steps");
     let mut store = MemoryStore::new();
     store.save("mid", &original.sys).unwrap();
-    original.run(2);
+    original.run(2).expect("stable steps");
 
     let mut replay = Simulation::resume_with_gravity(
         store.restore("mid").unwrap(),
@@ -54,7 +54,7 @@ fn restart_is_bit_exact_with_gravity() {
         setup.gravity.unwrap(),
     )
     .unwrap();
-    replay.run(2);
+    replay.run(2).expect("stable steps");
     let max_dev =
         original.sys.x.iter().zip(&replay.sys.x).map(|(a, b)| (*a - *b).norm()).fold(0.0, f64::max);
     assert_eq!(max_dev, 0.0, "gravity restart deviated by {max_dev}");
@@ -66,7 +66,7 @@ fn disk_checkpoints_survive_process_boundaries() {
     let cfg = SquarePatchConfig { nx: 8, nz: 8, ..Default::default() };
     let sph = SphConfig { gamma: cfg.gamma, ..small_config() };
     let mut sim = Simulation::new(square_patch(&cfg), sph).unwrap();
-    sim.run(1);
+    sim.run(1).expect("stable steps");
     {
         let mut store = DiskStore::new(&dir).unwrap();
         store.save("persist", &sim.sys).unwrap();
@@ -85,7 +85,7 @@ fn injected_corruption_is_always_caught_by_the_checksum() {
     let cfg = SquarePatchConfig { nx: 8, nz: 8, ..Default::default() };
     let sph = SphConfig { gamma: cfg.gamma, ..small_config() };
     let mut sim = Simulation::new(square_patch(&cfg), sph).unwrap();
-    sim.run(1);
+    sim.run(1).expect("stable steps");
     for seed in 0..20 {
         let mut det = ChecksumDetector::new();
         det.arm(&sim.sys);

@@ -36,23 +36,9 @@ struct StepFingerprint {
 fn fingerprint(sim: &Simulation, dt: f64, interactions: u64, nodes: u64) -> StepFingerprint {
     let phi_used = sim.gravity.is_some();
     let c = if phi_used { sim.conservation() } else { Conservation::measure(&sim.sys, None) };
-    // Order-dependent FNV over every particle's full state.
-    let mut hash = 0xcbf29ce484222325u64;
-    let mut mix = |x: f64| {
-        hash ^= x.to_bits();
-        hash = hash.wrapping_mul(0x100000001b3);
-    };
-    for i in 0..sim.sys.len() {
-        for v in [sim.sys.x[i], sim.sys.v[i], sim.sys.a[i]] {
-            mix(v.x);
-            mix(v.y);
-            mix(v.z);
-        }
-        mix(sim.sys.rho[i]);
-        mix(sim.sys.h[i]);
-        mix(sim.sys.u[i]);
-        mix(sim.sys.du_dt[i]);
-    }
+    // Order-dependent FNV over every particle's full state (shared helper,
+    // so all determinism suites hash exactly the same field set).
+    let hash = sph_exa_repro::core::diagnostics::state_fingerprint(&sim.sys);
     StepFingerprint {
         dt: dt.to_bits(),
         time: sim.sys.time.to_bits(),
@@ -76,7 +62,7 @@ fn square_patch_fingerprint(threads: usize) -> StepFingerprint {
     let ic = square_patch(&SquarePatchConfig { nx: 12, nz: 12, ..SquarePatchConfig::default() });
     let mut sim =
         SimulationBuilder::new(ic).num_threads(threads).build().expect("square patch builds");
-    let report = sim.step();
+    let report = sim.step().expect("stable step");
     fingerprint(&sim, report.dt, report.stats.sph_interactions, report.stats.neighbor.nodes_visited)
 }
 
@@ -89,7 +75,7 @@ fn evrard_fingerprint(threads: usize) -> StepFingerprint {
         .num_threads(threads)
         .build()
         .expect("evrard builds");
-    let report = sim.step();
+    let report = sim.step().expect("stable step");
     fingerprint(&sim, report.dt, report.stats.sph_interactions, report.stats.neighbor.nodes_visited)
 }
 

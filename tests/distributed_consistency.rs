@@ -10,7 +10,7 @@
 use sph_exa_repro::core::config::SphConfig;
 use sph_exa_repro::core::density::compute_density;
 use sph_exa_repro::core::ParticleSystem;
-use sph_exa_repro::domain::{halo_sets, orb_partition, sfc_partition, SfcKind};
+use sph_exa_repro::domain::{halo_sets, orb_partition, sfc_partition, HaloRadiusPolicy, SfcKind};
 use sph_exa_repro::math::{Aabb, Periodicity, SplitMix64, Vec3};
 use sph_exa_repro::scenarios::{evrard_collapse, EvrardConfig};
 use sph_exa_repro::tree::{Octree, OctreeConfig};
@@ -46,10 +46,17 @@ fn distributed_density(
     cfg: &SphConfig,
     assignment: &sph_exa_repro::domain::Decomposition,
 ) -> Vec<f64> {
-    // Conservative halo radius: the h iteration can grow h, so include
-    // the iteration headroom (matching what a real halo protocol with an
-    // h-growth cap would negotiate).
-    let radius = 2.0 * sph_exa_repro::kernels::SUPPORT_RADIUS * sys.max_h();
+    // Halo radius via the shared negotiation API. The evaluation below is
+    // at *frozen* h (already adapted globally before the exchange), so the
+    // frozen policy — support radius × global max h, no iteration
+    // headroom — is exactly sufficient. This used to be a copy-pasted
+    // `2.0 ×` over-estimate; using the tight shared radius and still
+    // matching the global evaluation bit-for-bit is the proof it is right.
+    let per_rank_max_h: Vec<f64> = (0..assignment.nparts as u32)
+        .map(|r| assignment.indices_of(r).iter().map(|&i| sys.h[i as usize]).fold(0.0, f64::max))
+        .collect();
+    let radius =
+        HaloRadiusPolicy::frozen(sph_exa_repro::kernels::SUPPORT_RADIUS).negotiate(&per_rank_max_h);
     let halos = halo_sets(&sys.x, assignment, radius, &sys.periodicity);
     let mut rho_global = vec![0.0; sys.len()];
     for rank in 0..assignment.nparts as u32 {

@@ -42,11 +42,11 @@ fn cold_cloud_collapses_and_conserves_energy() {
         .gravity(setup.gravity.unwrap())
         .build()
         .unwrap();
-    sim.step();
+    sim.step().expect("stable step");
     let c0 = sim.conservation();
     let r0 = mean_radius(&sim.sys);
     for _ in 0..8 {
-        sim.step();
+        sim.step().expect("stable step");
     }
     let c1 = sim.conservation();
     let r1 = mean_radius(&sim.sys);
@@ -66,10 +66,10 @@ fn central_density_grows_during_collapse() {
         .gravity(setup.gravity.unwrap())
         .build()
         .unwrap();
-    sim.step();
+    sim.step().expect("stable step");
     let rho0 = central_density(&sim.sys);
     for _ in 0..8 {
-        sim.step();
+        sim.step().expect("stable step");
     }
     let rho1 = central_density(&sim.sys);
     assert!(rho1 > 1.2 * rho0, "central density should grow during collapse: {rho0} → {rho1}");
@@ -90,7 +90,7 @@ fn changa_runs_evrard_with_block_timesteps() {
         .unwrap();
     let mut saw_rung_spread = false;
     for _ in 0..6 {
-        let r = sim.step();
+        let r = sim.step().expect("stable step");
         if r.substeps > 1 {
             saw_rung_spread = true;
             assert!(r.active_fraction < 1.0);

@@ -18,7 +18,7 @@ fn facade_builds_a_simulation_and_steps_it() {
     assert!(before.total_energy().is_finite());
     assert!(before.total_mass > 0.0);
 
-    let result = sim.step();
+    let result = sim.step().expect("stable step");
     assert!(result.dt > 0.0 && result.dt.is_finite());
     assert!(result.stats.sph_interactions > 0);
 

@@ -19,7 +19,7 @@ fn all_three_parent_configs_step_the_square_patch() {
             .config(setup.sph)
             .build()
             .unwrap_or_else(|e| panic!("{}: {e}", setup.name));
-        let report = sim.step();
+        let report = sim.step().expect("stable step");
         assert!(report.dt > 0.0, "{}", setup.name);
         assert!(report.stats.sph_interactions > 0, "{}", setup.name);
         assert!(sim.sys.sanity_check().is_ok(), "{}", setup.name);
@@ -42,7 +42,7 @@ fn angular_momentum_is_conserved_over_many_steps() {
     let mut sim = SimulationBuilder::new(sys).config(setup.sph).build().unwrap();
     let lz0 = lz(&sim.sys);
     assert!(lz0.abs() > 1e-3, "the patch must actually rotate");
-    sim.run(10);
+    sim.run(10).expect("stable steps");
     let lz1 = lz(&sim.sys);
     assert!(((lz1 - lz0) / lz0).abs() < 1e-3, "angular momentum drifted: {lz0} → {lz1}");
 }
@@ -85,7 +85,7 @@ fn twenty_step_run_stays_physical() {
     let sys = patch(10, setup.sph.gamma);
     let mut sim = SimulationBuilder::new(sys).config(setup.sph).build().unwrap();
     let c0 = Conservation::measure(&sim.sys, None);
-    let reports = sim.run(20);
+    let reports = sim.run(20).expect("stable steps");
     assert_eq!(reports.len(), 20);
     assert!(sim.sys.sanity_check().is_ok());
     let c1 = Conservation::measure(&sim.sys, None);

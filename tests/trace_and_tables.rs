@@ -21,7 +21,7 @@ fn modelled_timing(ranks: usize, balancing: LoadBalancing) -> sph_exa_repro::clu
         .gravity(setup.gravity.unwrap())
         .build()
         .unwrap();
-    sim.step();
+    sim.step().expect("stable step");
     let work = sim.per_particle_work().to_vec();
     let zeros = vec![0.0; sim.sys.len()];
     let workload = StepWorkload {
