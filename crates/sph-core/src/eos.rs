@@ -78,6 +78,38 @@ mod tests {
         let eos = IdealGas::new(5.0 / 3.0);
         assert_eq!(eos.sound_speed(1.0, 0.0), 0.0);
         assert_eq!(eos.pressure(1.0, 0.0), 0.0);
+        // Zero internal energy must also survive the inverse map.
+        assert_eq!(eos.energy_from_pressure(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn vacuum_density_yields_zero_not_nan() {
+        // The 0/0 edge a naive P/ρ would hit: a particle whose density
+        // collapsed to zero (e.g. the evacuated Sedov centre at the
+        // resolution floor) must read silent, not poisoned.
+        let eos = IdealGas::new(5.0 / 3.0);
+        assert_eq!(eos.sound_speed(0.0, 1.0), 0.0);
+        assert_eq!(eos.energy_from_pressure(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn shock_strength_energies_stay_finite_and_consistent() {
+        // A Sedov deposition puts u ~ 10¹⁰ × background into a handful
+        // of particles; pressure, sound speed and the round trip must
+        // stay finite and consistent across that whole dynamic range.
+        let eos = IdealGas::new(5.0 / 3.0);
+        for exp in [-10, -5, 0, 5, 10] {
+            let u = 10f64.powi(exp);
+            let p = eos.pressure(1.0, u);
+            let cs = eos.sound_speed(1.0, u);
+            assert!(p.is_finite() && p > 0.0);
+            assert!(cs.is_finite() && cs > 0.0);
+            // cs² = γ(γ−1)u exactly in exact arithmetic; to a few ulps here.
+            let want = (5.0 / 3.0 * (5.0 / 3.0 - 1.0) * u).sqrt();
+            assert!((cs - want).abs() <= 1e-14 * want, "cs {cs} vs {want} at u = {u}");
+            let u_back = eos.energy_from_pressure(1.0, p);
+            assert!((u_back - u).abs() <= 1e-14 * u);
+        }
     }
 
     #[test]

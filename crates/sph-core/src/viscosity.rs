@@ -162,6 +162,60 @@ mod tests {
     }
 
     #[test]
+    fn shock_strength_approach_is_quadratic_in_mach() {
+        // For |v·r| ≫ c the β μ² (von Neumann–Richtmyer) term dominates:
+        // doubling a shock-strength approach speed must quadruple Π.
+        // This is the term that carries the Sedov/Sod shock capture.
+        let d = Vec3::new(1.0, 0.0, 0.0);
+        let cs = 0.01; // nearly cold pre-shock gas
+        let pi = |speed: f64| {
+            pair_viscosity(
+                &cfg(),
+                d,
+                Vec3::new(-speed, 0.0, 0.0),
+                0.1,
+                0.1,
+                cs,
+                cs,
+                1.0,
+                1.0,
+                1.0,
+                1.0,
+            )
+        };
+        let ratio = pi(20.0) / pi(10.0);
+        assert!((ratio - 4.0).abs() < 0.05, "Π(2v)/Π(v) = {ratio}, want ≈ 4");
+        assert!(pi(1000.0).is_finite());
+    }
+
+    #[test]
+    fn cold_static_gas_has_unit_balsara_factor() {
+        // cs = 0, ∇·v = 0, ∇×v = 0 makes the denominator exactly zero —
+        // the guard must return the no-suppression value, not NaN.
+        let f = balsara_factor(0.0, 0.0, 0.0, 0.1);
+        assert_eq!(f, 1.0);
+    }
+
+    #[test]
+    fn balsara_factor_survives_degenerate_smoothing_length() {
+        // h = 0 would divide by zero in the noise floor term; the clamp
+        // keeps the factor finite (and fully suppressed, since the
+        // noise floor then dominates the denominator).
+        let f = balsara_factor(1.0, 1.0, 1.0, 0.0);
+        assert!(f.is_finite() && (0.0..=1.0).contains(&f), "f = {f}");
+    }
+
+    #[test]
+    fn viscosity_finite_at_near_contact_separation() {
+        // r → 0 with an approaching pair: the η²h̄² softening must keep
+        // μ — and Π — finite.
+        let d = Vec3::new(1e-12, 0.0, 0.0);
+        let dv = Vec3::new(-1.0, 0.0, 0.0);
+        let pi = pair_viscosity(&cfg(), d, dv, 0.1, 0.1, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0);
+        assert!(pi.is_finite() && pi >= 0.0, "Π = {pi}");
+    }
+
+    #[test]
     fn symmetric_in_pair_exchange() {
         // Π_ij must equal Π_ji: swap i↔j flips both d and dv.
         let d = Vec3::new(0.3, -0.2, 0.1);

@@ -10,7 +10,33 @@ use sph_core::timestep::{
 use sph_core::viscosity::{balsara_factor, pair_viscosity};
 use sph_math::{Aabb, Periodicity, Vec3};
 
+/// Distance in representable doubles between two finite, same-sign
+/// values (0 = bit-identical).
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    assert!(a.is_finite() && b.is_finite() && a.is_sign_positive() == b.is_sign_positive());
+    a.to_bits().abs_diff(b.to_bits())
+}
+
 proptest! {
+    #[test]
+    fn energy_from_pressure_inverts_pressure_to_one_ulp(
+        gamma in 1.1..6.9_f64,
+        rho in 1e-6..1e6_f64,
+        p in 1e-6..1e6_f64,
+    ) {
+        // Both directions divide/multiply by the *same* rounded factor
+        // fl((γ−1)·ρ), so the round trip accumulates exactly two
+        // rounding errors ≤ ½ulp each — the result can differ from the
+        // input by at most one representable double. This is what makes
+        // pressure-specified initial conditions (Sod, Gresho, KH,
+        // square patch) reproduce their pressure fields faithfully.
+        let eos = IdealGas::new(gamma);
+        let u = eos.energy_from_pressure(rho, p);
+        let p2 = eos.pressure(rho, u);
+        let d = ulp_distance(p, p2);
+        prop_assert!(d <= 1, "p = {p} round-trips to {p2} ({d} ulps) at γ = {gamma}, ρ = {rho}");
+    }
+
     #[test]
     fn eos_pressure_energy_roundtrip(gamma in 1.1..6.9_f64, rho in 0.01..100.0_f64, u in 0.0..100.0_f64) {
         let eos = IdealGas::new(gamma);

@@ -60,6 +60,58 @@ use sph_tree::{
     GravityConfig, GravitySolver, NeighborSearch, Octree, OctreeConfig, TraversalStats,
 };
 
+/// Why a [`DistributedSimulation`] could not be constructed.
+///
+/// Typed so callers can distinguish "this configuration is wrong" from
+/// "this configuration is valid but the distributed driver does not
+/// support it yet" — the latter is a capability gap, not a user error,
+/// and a scheduler may fall back to the single-rank [`crate::Simulation`]
+/// on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistributedBuildError {
+    /// The configured time-stepping policy is valid but not supported by
+    /// the distributed driver.
+    UnsupportedTimeStepping {
+        /// Human name of the requested policy.
+        requested: &'static str,
+        /// The policies the driver does support.
+        supported: &'static [&'static str],
+    },
+    /// Rank count is zero or exceeds the particle count.
+    BadRankCount { nranks: usize, particles: usize },
+    /// SPH configuration, particle state, or driver wiring failed
+    /// validation (message from the underlying check).
+    Invalid(String),
+}
+
+/// The time-stepping policies the distributed driver supports.
+pub const SUPPORTED_TIME_STEPPING: &[&str] = &["Global", "Adaptive"];
+
+impl std::fmt::Display for DistributedBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistributedBuildError::UnsupportedTimeStepping { requested, supported } => write!(
+                f,
+                "{requested} time-stepping is not supported by the distributed driver; \
+                 supported modes: {}",
+                supported.join(", ")
+            ),
+            DistributedBuildError::BadRankCount { nranks, particles } => {
+                write!(f, "{nranks} ranks cannot each own a particle of {particles}")
+            }
+            DistributedBuildError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DistributedBuildError {}
+
+impl From<DistributedBuildError> for String {
+    fn from(e: DistributedBuildError) -> String {
+        e.to_string()
+    }
+}
+
 /// Which decomposition algorithm the driver uses (Table 3 rows; slab is
 /// deliberately absent — it is the strawman the paper's parents moved
 /// away from).
@@ -166,26 +218,22 @@ impl DistributedBuilder {
         self
     }
 
-    pub fn build(self) -> Result<DistributedSimulation, String> {
-        if self.dist.nranks == 0 {
-            return Err("distributed run needs at least one rank".to_string());
-        }
-        if self.sys.is_empty() || self.dist.nranks > self.sys.len() {
-            return Err(format!(
-                "{} ranks cannot each own a particle of {}",
-                self.dist.nranks,
-                self.sys.len()
-            ));
+    pub fn build(self) -> Result<DistributedSimulation, DistributedBuildError> {
+        if self.dist.nranks == 0 || self.sys.is_empty() || self.dist.nranks > self.sys.len() {
+            return Err(DistributedBuildError::BadRankCount {
+                nranks: self.dist.nranks,
+                particles: self.sys.len(),
+            });
         }
         // Full config validation happens in `assemble`, shared with the
         // checkpoint-restore path; positions must be sane *before* the
         // partitioners sort them.
-        self.sys.sanity_check()?;
+        self.sys.sanity_check().map_err(DistributedBuildError::Invalid)?;
         if let Some(n) = self.num_threads {
             rayon::ThreadPoolBuilder::new()
                 .num_threads(n)
                 .build_global()
-                .map_err(|e| format!("thread pool: {e}"))?;
+                .map_err(|e| DistributedBuildError::Invalid(format!("thread pool: {e}")))?;
         }
         let decomp = partition(&self.sys, self.dist.partitioner, self.dist.nranks, &[]);
         DistributedSimulation::assemble(
@@ -304,23 +352,24 @@ impl DistributedSimulation {
         decomp: Decomposition,
         dt_prev: f64,
         derivatives_fresh: bool,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, DistributedBuildError> {
         // Every construction path (builder *and* checkpoint restore) must
         // reject what the driver cannot run — a restore with an invalid or
         // Individual-stepping config would otherwise silently integrate
         // with Global semantics.
-        config.validate()?;
-        sys.sanity_check()?;
+        config.validate().map_err(DistributedBuildError::Invalid)?;
+        sys.sanity_check().map_err(DistributedBuildError::Invalid)?;
         if matches!(config.time_stepping, TimeStepping::Individual { .. }) {
-            return Err("individual (block) time-stepping is not yet supported by the \
-                        distributed driver — use Global or Adaptive"
-                .to_string());
+            return Err(DistributedBuildError::UnsupportedTimeStepping {
+                requested: "individual (block)",
+                supported: SUPPORTED_TIME_STEPPING,
+            });
         }
         if decomp.nparts != dist.nranks {
-            return Err(format!(
+            return Err(DistributedBuildError::Invalid(format!(
                 "decomposition has {} parts for {} ranks",
                 decomp.nparts, dist.nranks
-            ));
+            )));
         }
         let boxes = sph_domain::orb::rank_boxes(&sys.x, &decomp);
         let owned = bucket_owned(&decomp);
@@ -349,7 +398,11 @@ impl DistributedSimulation {
     }
 
     /// Convenience constructor with distributed defaults.
-    pub fn new(sys: ParticleSystem, config: SphConfig, nranks: usize) -> Result<Self, String> {
+    pub fn new(
+        sys: ParticleSystem,
+        config: SphConfig,
+        nranks: usize,
+    ) -> Result<Self, DistributedBuildError> {
         DistributedBuilder::new(sys).config(config).nranks(nranks).build()
     }
 
@@ -1462,17 +1515,39 @@ mod tests {
     }
 
     #[test]
-    fn builder_rejects_individual_stepping_and_zero_ranks() {
+    fn builder_rejects_individual_stepping_with_typed_error() {
         let bad = SphConfig {
             time_stepping: TimeStepping::Individual { max_rungs: 4 },
             ..quick_config()
         };
-        assert!(DistributedBuilder::new(gas_ball(100, 23)).config(bad).nranks(2).build().is_err());
-        assert!(DistributedBuilder::new(gas_ball(100, 23))
+        let err = DistributedBuilder::new(gas_ball(100, 23))
+            .config(bad)
+            .nranks(2)
+            .build()
+            .err()
+            .expect("individual stepping must be rejected");
+        // The rejection is a typed capability gap, not a stringly error…
+        assert!(
+            matches!(err, DistributedBuildError::UnsupportedTimeStepping { .. }),
+            "expected UnsupportedTimeStepping, got {err:?}"
+        );
+        // …and its message names every mode the driver does support, so
+        // the caller can correct the configuration without reading source.
+        let msg = err.to_string();
+        for mode in SUPPORTED_TIME_STEPPING {
+            assert!(msg.contains(mode), "error message must name {mode}: {msg}");
+        }
+    }
+
+    #[test]
+    fn builder_rejects_zero_ranks_with_typed_error() {
+        let err = DistributedBuilder::new(gas_ball(100, 23))
             .config(quick_config())
             .nranks(0)
             .build()
-            .is_err());
+            .err()
+            .expect("zero ranks must be rejected");
+        assert!(matches!(err, DistributedBuildError::BadRankCount { nranks: 0, .. }), "{err:?}");
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod distributed;
 pub mod simulation;
 
 pub use distributed::{
-    DistributedBuilder, DistributedConfig, DistributedSimulation, ExchangeLog, RankPartitioner,
+    DistributedBuildError, DistributedBuilder, DistributedConfig, DistributedSimulation,
+    ExchangeLog, RankPartitioner, SUPPORTED_TIME_STEPPING,
 };
 pub use simulation::{Simulation, SimulationBuilder, StepReport};

@@ -11,8 +11,15 @@
 //! `μ ∝ r²` exactly. An optional deterministic jitter breaks the lattice
 //! alignment.
 
+use crate::engine::{
+    AnalyticReference, Check, PrimitiveState, Resolution, Scenario, ScenarioRun, ScenarioSetup,
+    ValidationReport,
+};
+use crate::registry::ScenarioInfo;
+use sph_core::config::{SphConfig, ViscosityConfig};
 use sph_core::ParticleSystem;
 use sph_math::{Aabb, Periodicity, SplitMix64, Vec3};
+use sph_tree::{GravityConfig, MultipoleOrder};
 
 /// Evrard-collapse configuration; paper values are the defaults.
 #[derive(Debug, Clone, Copy)]
@@ -102,6 +109,136 @@ pub fn evrard_collapse(cfg: &EvrardConfig) -> ParticleSystem {
         1.6 * spacing,
         Periodicity::open(domain),
     )
+}
+
+/// Mass-weighted rms radius — the collapse-progress diagnostic.
+pub fn rms_radius(sys: &ParticleSystem) -> f64 {
+    let mut mr2 = 0.0;
+    let mut mt = 0.0;
+    for i in 0..sys.len() {
+        mr2 += sys.m[i] * sys.x[i].norm_sq();
+        mt += sys.m[i];
+    }
+    (mr2 / mt).sqrt()
+}
+
+/// The registered Evrard-collapse workload (paper Table 5, row 2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvrardScenario;
+
+impl EvrardScenario {
+    fn cfg(&self, res: Resolution) -> EvrardConfig {
+        EvrardConfig { n_target: res.scaled(3000, 400), ..Default::default() }
+    }
+}
+
+impl Scenario for EvrardScenario {
+    fn name(&self) -> &'static str {
+        "evrard"
+    }
+
+    fn reference(&self) -> &'static str {
+        "Evrard 1988"
+    }
+
+    fn description(&self) -> &'static str {
+        "Adiabatic collapse of a cold static gas sphere under self-gravity"
+    }
+
+    fn analytic_check(&self) -> &'static str {
+        "W₀ = −2GM²/(3R) at start; energy ledger and collapse dynamics over the run"
+    }
+
+    fn table5_row(&self) -> Option<ScenarioInfo> {
+        Some(crate::registry::evrard_table5_row())
+    }
+
+    fn init(&self, res: Resolution) -> ScenarioSetup {
+        let cfg = self.cfg(res);
+        let config = SphConfig {
+            gamma: 5.0 / 3.0,
+            target_neighbors: 60,
+            viscosity: ViscosityConfig { alpha: 1.0, beta: 2.0, eta2: 0.01, balsara: true },
+            ..Default::default()
+        };
+        let gravity = GravityConfig {
+            g: 1.0,
+            theta: 0.5,
+            softening: 1e-2,
+            order: MultipoleOrder::Quadrupole,
+        };
+        ScenarioSetup { sys: evrard_collapse(&cfg), config, gravity: Some(gravity) }
+    }
+
+    fn end_time(&self) -> f64 {
+        0.2
+    }
+
+    /// No pointwise reference at t > 0: the registered bound gates the
+    /// total-energy drift.
+    fn l1_tolerance(&self) -> f64 {
+        0.02
+    }
+
+    fn analytic_reference(&self, t: f64) -> Option<AnalyticReference> {
+        if t != 0.0 {
+            return None;
+        }
+        // Same config source as `init` (Resolution scales n_target only).
+        let cfg = self.cfg(Resolution::default());
+        Some(AnalyticReference::Profile(Box::new(move |x: Vec3| {
+            let r = x.norm().max(1e-6);
+            let rho = evrard_density(r, cfg.mass, cfg.radius);
+            PrimitiveState { rho, p: (5.0 / 3.0 - 1.0) * rho * cfg.u0, v: Vec3::ZERO }
+        })))
+    }
+
+    fn track(&self, sys: &ParticleSystem) -> Option<f64> {
+        Some(rms_radius(sys))
+    }
+
+    fn validate(&self, run: &ScenarioRun) -> ValidationReport {
+        let cfg = self.cfg(Resolution::default());
+        let w_analytic = evrard_gravitational_energy(cfg.mass, cfg.radius, 1.0);
+        let w0 = run.initial.gravitational_energy;
+        let w0_err = ((w0 - w_analytic) / w_analytic).abs();
+        let r0 = run.samples.first().map(|s| s.value).unwrap_or(0.0);
+        let r1 = run.samples.last().map(|s| s.value).unwrap_or(f64::INFINITY);
+        let momentum_scale = crate::engine::momentum_scale(&run.sys);
+        let checks = vec![
+            Check::upper("energy_drift", run.energy_drift(), self.l1_tolerance()),
+            Check::upper("initial_w_vs_analytic", w0_err, 0.1),
+            // The cloud must collapse: rms radius shrinks, KE rises and
+            // the potential deepens.
+            Check::upper("rms_radius_ratio", r1 / r0.max(f64::MIN_POSITIVE), 1.0),
+            Check::lower(
+                "kinetic_energy_growth",
+                run.final_conservation.kinetic_energy - run.initial.kinetic_energy,
+                0.0,
+            ),
+            Check::upper(
+                "potential_deepens",
+                run.final_conservation.gravitational_energy - w0,
+                0.0,
+            ),
+        ];
+        let metrics = vec![
+            ("w_initial_measured", w0),
+            ("w_analytic", w_analytic),
+            ("rms_radius_initial", r0),
+            ("rms_radius_final", r1),
+        ];
+        ValidationReport::new(
+            self.name(),
+            run,
+            run.sys.time,
+            None,
+            self.l1_tolerance(),
+            momentum_scale,
+            checks,
+            metrics,
+        )
+    }
 }
 
 #[cfg(test)]

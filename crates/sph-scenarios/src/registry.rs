@@ -1,4 +1,10 @@
-//! The test-simulation registry — the data behind Table 5 of the paper.
+//! Table 5 of the paper, derived from the scenario registry.
+//!
+//! The rows are no longer a free-standing hard-coded list: each paper
+//! workload carries its Table 5 metadata ([`ScenarioInfo`]) as part of
+//! its [`crate::engine::Scenario`] implementation, and
+//! [`scenario_table`] collects them from the live registry — so the
+//! paper table and the runnable workloads cannot drift apart.
 
 /// One row of Table 5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -12,29 +18,39 @@ pub struct ScenarioInfo {
     pub platforms: &'static str,
 }
 
-/// The rows of Table 5, verbatim from the paper.
+/// Table 5, row 1 — verbatim from the paper; returned by
+/// `SquarePatchScenario::table5_row`.
+pub(crate) fn square_patch_table5_row() -> ScenarioInfo {
+    ScenarioInfo {
+        name: "Rotating Square Patch",
+        reference: "Colagrossi 2005",
+        description: "Rotation of a free-surface square fluid patch",
+        domain: "3D, 10^6 particles",
+        simulation_length: "20 time-steps",
+        codes: "SPHYNX, ChaNGa, SPH-flow",
+        platforms: "Piz Daint, MareNostrum 4",
+    }
+}
+
+/// Table 5, row 2 — verbatim from the paper; returned by
+/// `EvrardScenario::table5_row`.
+pub(crate) fn evrard_table5_row() -> ScenarioInfo {
+    ScenarioInfo {
+        name: "Evrard Collapse",
+        reference: "Evrard 1988",
+        description:
+            "Adiabatic collapse of an initially cold and static gas sphere (w/ self-gravity)",
+        domain: "3D, 10^6 particles",
+        simulation_length: "20 time-steps",
+        codes: "SPHYNX, ChaNGa",
+        platforms: "Piz Daint, MareNostrum 4",
+    }
+}
+
+/// The rows of Table 5, collected from the registry entries that carry
+/// paper metadata (registration order == row order).
 pub fn scenario_table() -> Vec<ScenarioInfo> {
-    vec![
-        ScenarioInfo {
-            name: "Rotating Square Patch",
-            reference: "Colagrossi 2005",
-            description: "Rotation of a free-surface square fluid patch",
-            domain: "3D, 10^6 particles",
-            simulation_length: "20 time-steps",
-            codes: "SPHYNX, ChaNGa, SPH-flow",
-            platforms: "Piz Daint, MareNostrum 4",
-        },
-        ScenarioInfo {
-            name: "Evrard Collapse",
-            reference: "Evrard 1988",
-            description:
-                "Adiabatic collapse of an initially cold and static gas sphere (w/ self-gravity)",
-            domain: "3D, 10^6 particles",
-            simulation_length: "20 time-steps",
-            codes: "SPHYNX, ChaNGa",
-            platforms: "Piz Daint, MareNostrum 4",
-        },
-    ]
+    crate::engine::ScenarioRegistry::builtin().iter().filter_map(|s| s.table5_row()).collect()
 }
 
 #[cfg(test)]
@@ -56,5 +72,17 @@ mod tests {
         let t = scenario_table();
         assert!(!t[1].codes.contains("SPH-flow"));
         assert!(t[0].codes.contains("SPH-flow"));
+    }
+
+    #[test]
+    fn table_is_derived_from_the_registry() {
+        // The registry entries that carry Table 5 metadata are exactly
+        // the two paper workloads, in row order.
+        let reg = crate::engine::ScenarioRegistry::builtin();
+        let rows: Vec<_> = reg.iter().filter(|s| s.table5_row().is_some()).collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name(), "square-patch");
+        assert_eq!(rows[1].name(), "evrard");
+        assert_eq!(scenario_table(), vec![square_patch_table5_row(), evrard_table5_row()]);
     }
 }

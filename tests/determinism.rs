@@ -9,8 +9,11 @@
 //! meaningful — a drift can only mean corruption, never scheduling noise.
 
 use sph_exa_repro::core::diagnostics::Conservation;
-use sph_exa_repro::exa::{Simulation, SimulationBuilder};
-use sph_exa_repro::scenarios::{evrard_collapse, square_patch, EvrardConfig, SquarePatchConfig};
+use sph_exa_repro::exa::{DistributedBuilder, Simulation, SimulationBuilder};
+use sph_exa_repro::scenarios::{
+    evrard_collapse, square_patch, EvrardConfig, Resolution, Scenario, SedovScenario,
+    SquarePatchConfig,
+};
 use sph_exa_repro::tree::{GravityConfig, MultipoleOrder};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
@@ -101,6 +104,63 @@ fn evrard_step_is_bit_identical_across_thread_counts() {
             reference, fp,
             "Evrard step differs between SPH_THREADS={} and {}",
             THREAD_COUNTS[0], threads
+        );
+    }
+}
+
+/// Sedov at a CI-sized resolution, built through the scenario registry —
+/// the shock-dominated workload the fixed-chunk contract must also cover
+/// (strong shocks exercise the h-iteration escalation and the Balsara
+/// branches that the two smooth paper tests never touch).
+fn sedov_fingerprint(threads: usize) -> StepFingerprint {
+    let setup = SedovScenario.init(Resolution { scale: 0.375 });
+    let mut sim = SimulationBuilder::new(setup.sys)
+        .config(setup.config)
+        .num_threads(threads)
+        .build()
+        .expect("sedov builds");
+    let report = sim.step().expect("stable step");
+    fingerprint(&sim, report.dt, report.stats.sph_interactions, report.stats.neighbor.nodes_visited)
+}
+
+#[test]
+fn sedov_step_is_bit_identical_across_thread_counts() {
+    let reference = sedov_fingerprint(THREAD_COUNTS[0]);
+    for &threads in &THREAD_COUNTS[1..] {
+        let fp = sedov_fingerprint(threads);
+        assert_eq!(
+            reference, fp,
+            "Sedov step differs between SPH_THREADS={} and {}",
+            THREAD_COUNTS[0], threads
+        );
+    }
+}
+
+#[test]
+fn sedov_is_bit_identical_across_rank_counts() {
+    // nranks {1, 2}: the distributed driver must reproduce the
+    // single-rank shock trajectory bit-for-bit (state hash over every
+    // particle field after two macro-steps).
+    let state = sph_exa_repro::core::diagnostics::state_fingerprint;
+    let single = {
+        let setup = SedovScenario.init(Resolution { scale: 0.375 });
+        let mut sim =
+            SimulationBuilder::new(setup.sys).config(setup.config).build().expect("builds");
+        sim.run(2).expect("stable steps");
+        state(&sim.sys)
+    };
+    for nranks in [1usize, 2] {
+        let setup = SedovScenario.init(Resolution { scale: 0.375 });
+        let mut dist = DistributedBuilder::new(setup.sys)
+            .config(setup.config)
+            .nranks(nranks)
+            .build()
+            .expect("distributed builds");
+        dist.run(2).expect("stable steps");
+        assert_eq!(
+            state(&dist.sys),
+            single,
+            "{nranks}-rank Sedov diverged from the single-rank driver"
         );
     }
 }
