@@ -1,0 +1,269 @@
+//! Head-to-head of the pre-pipeline hot path against the cell-list/CSR
+//! pipeline on one 32³ Sedov derivative evaluation.
+//!
+//! The baseline is a faithful re-creation of the path this PR replaced:
+//! a Morton octree rebuilt for the evaluation, a tree walk for **every**
+//! round of every particle's smoothing-length iteration, a freshly
+//! allocated neighbour `Vec` per particle, and the naive
+//! clone/push/sort/dedup symmetric closure. The pipeline side is what the
+//! drivers now run: half-radius cell grid, one distance-carrying gather
+//! per particle with cached-candidate filtering for the remaining
+//! h-rounds, flat CSR rows, and the reverse-CSR merge closure.
+//!
+//! Both paths execute the same kernel arithmetic in the same ascending-id
+//! order, so their (ρ, a) outputs are bit-identical — asserted before any
+//! timing, because a speedup between diverging results would be
+//! meaningless.
+//!
+//! Runs single-threaded (the acceptance criterion is a ≥2× single-thread
+//! step speedup) and writes the medians to `BENCH_neighbor.json` at the
+//! workspace root, which CI uploads as an artifact.
+
+use std::time::Instant;
+
+use sph_core::config::SphConfig;
+use sph_core::density::{compute_density, NeighborLists};
+use sph_core::forces::compute_forces;
+use sph_core::particles::ParticleSystem;
+use sph_kernels::{Kernel, SUPPORT_RADIUS};
+use sph_scenarios::{Resolution, Scenario, SedovScenario};
+use sph_tree::{CellGrid, NeighborSearch, Octree, OctreeConfig, TraversalStats};
+
+/// One derivative-evaluation timing: structure build, density (with the
+/// h-iteration), symmetric closure + forces. Seconds each.
+#[derive(Clone, Copy, Default)]
+struct Phases {
+    build: f64,
+    density: f64,
+    forces: f64,
+}
+
+impl Phases {
+    fn total(&self) -> f64 {
+        self.build + self.density + self.forces
+    }
+}
+
+enum Backend {
+    /// The seed hot path: octree walk per h-round, per-particle allocs,
+    /// naive symmetric closure.
+    SeedOctreeWalk,
+    /// The production pipeline: cell grid + cached CSR gathers.
+    CellList,
+}
+
+/// Faithful serial copy of the density/smoothing-length pass as it stood
+/// before the pipeline: one `neighbors_within` tree walk per h-round, a
+/// fresh row `Vec` per particle, separate `w`/`dw_dh` kernel calls.
+/// Identical arithmetic in identical order to the pipeline's pass, so h,
+/// ρ and Ω come out bit-equal — only the work done to get there differs.
+fn seed_density(
+    sys: &mut ParticleSystem,
+    search: &NeighborSearch,
+    kernel: &dyn Kernel,
+    cfg: &SphConfig,
+) -> Vec<Vec<u32>> {
+    let target = cfg.target_neighbors as f64;
+    let lo = (target * (1.0 - cfg.neighbor_tolerance)).floor() as usize;
+    let hi = (target * (1.0 + cfg.neighbor_tolerance)).ceil() as usize;
+    let mut h_cap = f64::INFINITY;
+    for axis in 0..3 {
+        if sys.periodicity.periodic[axis] {
+            let span = sys.periodicity.domain.extent().component(axis);
+            h_cap = h_cap.min(span * (0.5 - 1e-9) / SUPPORT_RADIUS);
+        }
+    }
+    let mut stats = TraversalStats::default();
+    let mut rows = Vec::with_capacity(sys.len());
+    for i in 0..sys.len() {
+        let xi = sys.x[i];
+        let mut h = sys.h[i];
+        // Per-particle allocation — the churn the pipeline removed.
+        let mut neighbors: Vec<u32> = Vec::with_capacity(cfg.target_neighbors * 2);
+        let mut iterations = 0usize;
+        loop {
+            neighbors.clear();
+            search.neighbors_within(xi, SUPPORT_RADIUS * h, &mut neighbors, &mut stats);
+            iterations += 1;
+            let count = neighbors.len();
+            if iterations >= cfg.max_h_iterations || (lo..=hi).contains(&count) {
+                break;
+            }
+            let h_new = if count < 2 {
+                (h * 1.5).min(h_cap)
+            } else {
+                let factor = (target / count as f64).cbrt();
+                (h * 0.5 * (1.0 + factor)).min(h_cap)
+            };
+            if h_new == h {
+                break;
+            }
+            h = h_new;
+        }
+        neighbors.sort_unstable();
+        let mut rho = 0.0;
+        let mut drho_dh = 0.0;
+        for &j in &neighbors {
+            let j = j as usize;
+            let d = sys.periodicity.displacement(xi, sys.x[j]);
+            let r = d.norm();
+            rho += sys.m[j] * kernel.w(r, h);
+            drho_dh += sys.m[j] * kernel.dw_dh(r, h);
+        }
+        let omega = if rho > 0.0 { 1.0 + h / (3.0 * rho) * drho_dh } else { 1.0 };
+        sys.h[i] = h;
+        sys.rho[i] = rho;
+        sys.omega[i] = if cfg.grad_h { omega } else { 1.0 };
+        rows.push(neighbors);
+    }
+    rows
+}
+
+/// The seed's symmetric closure: clone every row, push the reverse edges,
+/// then sort + dedup each per-particle set — replaced in the pipeline by
+/// the allocation-light reverse-CSR merge.
+fn seed_symmetrize(rows: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let mut sets: Vec<Vec<u32>> = rows.to_vec();
+    for (k, row) in rows.iter().enumerate() {
+        for &j in row {
+            let j = j as usize;
+            if j != k {
+                sets[j].push(k as u32);
+            }
+        }
+    }
+    for s in &mut sets {
+        s.sort_unstable();
+        s.dedup();
+    }
+    sets
+}
+
+/// Evaluate density + forces once through the chosen backend, returning
+/// phase timings and a bit-fingerprint of the resulting (rho, a) state.
+fn evaluate(sys: &mut ParticleSystem, cfg: &SphConfig, backend: &Backend) -> (Phases, u64) {
+    let kernel = cfg.kernel.build();
+    let active: Vec<u32> = (0..sys.len() as u32).collect();
+    let mut ph = Phases::default();
+    let eos = sph_core::IdealGas::new(cfg.gamma);
+
+    match backend {
+        Backend::SeedOctreeWalk => {
+            let t0 = Instant::now();
+            let tree = Octree::build(&sys.x, &sys.bounds(), OctreeConfig::default());
+            let search = NeighborSearch::new(&tree, sys.periodicity);
+            ph.build = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let rows = seed_density(sys, &search, kernel.as_ref(), cfg);
+            ph.density = t1.elapsed().as_secs_f64();
+            eos.apply(&sys.rho, &sys.u, &mut sys.p, &mut sys.cs);
+            let t2 = Instant::now();
+            let sym = NeighborLists::from_lists(seed_symmetrize(&rows));
+            compute_forces(sys, &sym, kernel.as_ref(), cfg, &active);
+            ph.forces = t2.elapsed().as_secs_f64();
+        }
+        Backend::CellList => {
+            let t0 = Instant::now();
+            let grid = CellGrid::for_radius(&sys.x, sys.periodicity, SUPPORT_RADIUS * sys.max_h());
+            ph.build = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let (lists, _) = compute_density(sys, &grid, kernel.as_ref(), cfg, &active);
+            ph.density = t1.elapsed().as_secs_f64();
+            eos.apply(&sys.rho, &sys.u, &mut sys.p, &mut sys.cs);
+            let t2 = Instant::now();
+            let sym = lists.symmetrized();
+            compute_forces(sys, &sym, kernel.as_ref(), cfg, &active);
+            ph.forces = t2.elapsed().as_secs_f64();
+        }
+    }
+
+    let mut hash = 0xcbf29ce484222325u64;
+    let mut mix = |v: f64| {
+        hash ^= v.to_bits();
+        hash = hash.wrapping_mul(0x100000001b3);
+    };
+    for i in 0..sys.len() {
+        mix(sys.rho[i]);
+        mix(sys.a[i].x);
+        mix(sys.a[i].y);
+        mix(sys.a[i].z);
+    }
+    (ph, hash)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    // Single thread: the acceptance criterion is serial speedup, and the
+    // comparison should not be blurred by pool scheduling.
+    rayon::ThreadPoolBuilder::new().num_threads(1).build_global().ok();
+
+    let reps: usize = std::env::var("BENCH_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
+    let scale: f64 = std::env::var("BENCH_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+
+    let setup = SedovScenario.init(Resolution { scale });
+    let n = setup.sys.len();
+    println!("neighbor_pipeline: sedov n={n}, {reps} reps per backend, 1 thread");
+
+    // Correctness first: the two backends must produce bit-identical state.
+    let (_, fp_tree) = evaluate(&mut setup.sys.clone(), &setup.config, &Backend::SeedOctreeWalk);
+    let (_, fp_grid) = evaluate(&mut setup.sys.clone(), &setup.config, &Backend::CellList);
+    assert_eq!(fp_tree, fp_grid, "backends disagree — the speedup would be meaningless");
+
+    let mut results: Vec<(&str, Phases)> = Vec::new();
+    for (name, backend) in
+        [("octree_walk", Backend::SeedOctreeWalk), ("cell_list", Backend::CellList)]
+    {
+        let mut builds = Vec::new();
+        let mut densities = Vec::new();
+        let mut forces = Vec::new();
+        for _ in 0..reps {
+            // A fresh clone each rep: the h-iteration must start from the
+            // same initial guess, exactly as a driver step would.
+            let mut sys = setup.sys.clone();
+            let (ph, _) = evaluate(&mut sys, &setup.config, &backend);
+            builds.push(ph.build);
+            densities.push(ph.density);
+            forces.push(ph.forces);
+        }
+        let med =
+            Phases { build: median(builds), density: median(densities), forces: median(forces) };
+        println!(
+            "  {name:12}: total {:.4}s (build {:.4}s, density {:.4}s, forces {:.4}s)",
+            med.total(),
+            med.build,
+            med.density,
+            med.forces
+        );
+        results.push((name, med));
+    }
+
+    let tree_total = results[0].1.total();
+    let grid_total = results[1].1.total();
+    let speedup = tree_total / grid_total;
+    println!("  speedup (octree_walk / cell_list): {speedup:.2}×");
+
+    let json = format!(
+        "{{\n  \"bench\": \"neighbor_pipeline\",\n  \"scenario\": \"sedov\",\n  \
+         \"particles\": {n},\n  \"threads\": 1,\n  \"reps\": {reps},\n  \
+         \"octree_walk\": {{ \"build_s\": {:.6}, \"density_s\": {:.6}, \"forces_s\": {:.6}, \
+         \"total_s\": {:.6} }},\n  \
+         \"cell_list\": {{ \"build_s\": {:.6}, \"density_s\": {:.6}, \"forces_s\": {:.6}, \
+         \"total_s\": {:.6} }},\n  \"speedup\": {:.3}\n}}\n",
+        results[0].1.build,
+        results[0].1.density,
+        results[0].1.forces,
+        tree_total,
+        results[1].1.build,
+        results[1].1.density,
+        results[1].1.forces,
+        grid_total,
+        speedup
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_neighbor.json");
+    std::fs::write(out, json).expect("write BENCH_neighbor.json");
+    println!("  wrote {out}");
+}

@@ -9,8 +9,9 @@ use sph_core::density::compute_density;
 use sph_core::forces::compute_forces;
 use sph_core::gradients::compute_iad_matrices;
 use sph_core::volume::compute_volume_elements;
+use sph_kernels::SUPPORT_RADIUS;
 use sph_parents::{changa, sphflow, sphynx};
-use sph_tree::{Octree, OctreeConfig};
+use sph_tree::CellGrid;
 
 const N: usize = 8_000;
 
@@ -22,10 +23,10 @@ fn bench_density_pass(c: &mut Criterion) {
         let mut sys = sim.sys.clone();
         let cfg = sim.config;
         let kernel = cfg.kernel.build();
-        let tree = Octree::build(&sys.x, &sys.bounds(), OctreeConfig::default());
+        let grid = CellGrid::for_radius(&sys.x, sys.periodicity, SUPPORT_RADIUS * sys.max_h());
         let active: Vec<u32> = (0..sys.len() as u32).collect();
         group.bench_function(setup.name, |b| {
-            b.iter(|| black_box(compute_density(&mut sys, &tree, kernel.as_ref(), &cfg, &active).1))
+            b.iter(|| black_box(compute_density(&mut sys, &grid, kernel.as_ref(), &cfg, &active).1))
         });
     }
     group.finish();
@@ -39,9 +40,9 @@ fn bench_force_pass(c: &mut Criterion) {
         let mut sys = sim.sys.clone();
         let cfg = sim.config;
         let kernel = cfg.kernel.build();
-        let tree = Octree::build(&sys.x, &sys.bounds(), OctreeConfig::default());
+        let grid = CellGrid::for_radius(&sys.x, sys.periodicity, SUPPORT_RADIUS * sys.max_h());
         let active: Vec<u32> = (0..sys.len() as u32).collect();
-        let (lists, _) = compute_density(&mut sys, &tree, kernel.as_ref(), &cfg, &active);
+        let (lists, _) = compute_density(&mut sys, &grid, kernel.as_ref(), &cfg, &active);
         compute_volume_elements(&mut sys, &lists, kernel.as_ref(), &cfg, &active);
         if cfg.gradients == GradientScheme::Iad {
             compute_iad_matrices(&mut sys, &lists, kernel.as_ref(), &active);

@@ -21,9 +21,10 @@ use sph_core::gradients::{compute_iad_matrices, scalar_gradient};
 use sph_core::volume::compute_volume_elements;
 use sph_domain::SfcKind;
 use sph_ft::{simulate_run, FailureInjector, MultilevelConfig};
+use sph_kernels::SUPPORT_RADIUS;
 use sph_math::Vec3;
 use sph_parents::sphynx;
-use sph_tree::{Octree, OctreeConfig};
+use sph_tree::CellGrid;
 
 fn decomposition_ablation(sim: &sph_exa::Simulation) {
     println!("--- ablation 1+2: decomposition × balancing (Evrard distribution) ---");
@@ -98,10 +99,10 @@ fn gradient_ablation(sim: &sph_exa::Simulation) {
     println!("--- ablation 4: IAD vs kernel-derivative gradients (linear field) ---");
     let mut sys = sim.sys.clone();
     let cfg = sim.config;
-    let tree = Octree::build(&sys.x, &sys.bounds(), OctreeConfig::default());
+    let grid = CellGrid::for_radius(&sys.x, sys.periodicity, SUPPORT_RADIUS * sys.max_h());
     let kernel = cfg.kernel.build();
     let active: Vec<u32> = (0..sys.len() as u32).collect();
-    let (lists, _) = compute_density(&mut sys, &tree, kernel.as_ref(), &cfg, &active);
+    let (lists, _) = compute_density(&mut sys, &grid, kernel.as_ref(), &cfg, &active);
     compute_volume_elements(&mut sys, &lists, kernel.as_ref(), &cfg, &active);
     compute_iad_matrices(&mut sys, &lists, kernel.as_ref(), &active);
     let a = Vec3::new(1.0, -2.0, 0.5);

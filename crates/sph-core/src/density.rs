@@ -15,97 +15,31 @@ use crate::StepStats;
 use rayon::prelude::*;
 use sph_kernels::{Kernel, SUPPORT_RADIUS};
 use sph_math::REDUCE_CHUNK;
-use sph_tree::{NeighborSearch, Octree, TraversalStats};
+use sph_tree::{NeighborQuery, TraversalStats};
 
-/// Flattened (CSR) neighbour lists for a set of query particles.
-#[derive(Debug, Clone, Default)]
-pub struct NeighborLists {
-    /// `offsets[k]..offsets[k+1]` indexes `indices` for query `k`.
-    offsets: Vec<u64>,
-    /// Neighbour particle ids (original indexing), self included.
-    indices: Vec<u32>,
-}
+// The CSR neighbour-list container lives in `sph-tree` next to the cell
+// grid that builds it; re-exported here because every sph-core kernel
+// pass consumes it (and for source compatibility with earlier revisions).
+pub use sph_tree::NeighborLists;
 
-impl NeighborLists {
-    pub fn from_lists(lists: Vec<Vec<u32>>) -> Self {
-        let mut offsets = Vec::with_capacity(lists.len() + 1);
-        offsets.push(0u64);
-        let total: usize = lists.iter().map(|l| l.len()).sum();
-        let mut indices = Vec::with_capacity(total);
-        for l in lists {
-            indices.extend_from_slice(&l);
-            offsets.push(indices.len() as u64);
-        }
-        NeighborLists { offsets, indices }
-    }
-
-    /// Neighbour slice of the k-th query particle.
-    #[inline]
-    pub fn neighbors(&self, k: usize) -> &[u32] {
-        let s = self.offsets[k] as usize;
-        let e = self.offsets[k + 1] as usize;
-        &self.indices[s..e]
-    }
-
-    /// Number of query particles covered.
-    pub fn query_count(&self) -> usize {
-        self.offsets.len().saturating_sub(1)
-    }
-
-    /// Total number of stored neighbour entries.
-    pub fn total_neighbors(&self) -> usize {
-        self.indices.len()
-    }
-
-    /// Mean neighbours per query.
-    pub fn mean_count(&self) -> f64 {
-        if self.query_count() == 0 {
-            return 0.0;
-        }
-        self.total_neighbors() as f64 / self.query_count() as f64
-    }
-
-    /// Symmetric closure of the lists: if `j ∈ N(i)` then also `i ∈ N(j)`.
-    ///
-    /// The density pass gathers within each particle's *own* support
-    /// `2h_i`; with per-particle smoothing lengths that relation is not
-    /// symmetric, but the pairwise momentum/energy equations must see every
-    /// pair from both sides or conservation is silently broken. Only valid
-    /// when the lists cover *all* particles (query `k` ⇔ particle `k`).
-    pub fn symmetrized(&self) -> NeighborLists {
-        let n = self.query_count();
-        let mut sets: Vec<Vec<u32>> = (0..n).map(|k| self.neighbors(k).to_vec()).collect();
-        for k in 0..n {
-            for &j in self.neighbors(k) {
-                let j = j as usize;
-                assert!(j < n, "symmetrized() requires full-system lists");
-                if j != k {
-                    sets[j].push(k as u32);
-                }
-            }
-        }
-        for s in &mut sets {
-            s.sort_unstable();
-            s.dedup();
-        }
-        NeighborLists::from_lists(sets)
-    }
-}
-
-/// Per-particle output of the density pass.
+/// Per-particle scalar output of the density pass (the neighbour row goes
+/// straight into the chunk's flat CSR buffer instead).
 struct DensityRow {
     h: f64,
     rho: f64,
     omega: f64,
-    neighbors: Vec<u32>,
 }
 
 /// Per-chunk output: the rows plus the chunk-folded counters. Counters are
 /// folded once per chunk (not per particle) and merged in chunk order by
 /// the caller — the chunked-map + ordered-reduce shape every parallel hot
-/// path in the workspace follows.
+/// path in the workspace follows. Neighbour rows are stored as one flat
+/// id buffer + per-row lengths (CSR fragments): no per-particle `Vec`
+/// allocation anywhere on the hot path.
 struct DensityChunk {
     rows: Vec<DensityRow>,
+    flat: Vec<u32>,
+    counts: Vec<u32>,
     stats: TraversalStats,
     h_iterations: u64,
     interactions: u64,
@@ -128,18 +62,24 @@ pub fn h_growth_bound(cfg: &SphConfig) -> f64 {
 /// Compute densities, adapted smoothing lengths, Ω terms and neighbour
 /// lists for the particles listed in `active` (pass `0..n` for all).
 ///
-/// Positions are read from `sys` and must match what `tree` was built
+/// Generic over the neighbour backend: the production drivers pass a
+/// [`sph_tree::CellGrid`]; the octree walk (via
+/// [`sph_tree::NeighborSearch`]) remains supported as the reference path
+/// and for benchmarking the two against each other. Both backends answer
+/// exact ball queries with identical accept arithmetic, so the choice
+/// cannot change a bit of the result.
+///
+/// Positions are read from `sys` and must match what `query` was built
 /// from. On return `sys.h`, `sys.rho`, `sys.omega` are updated for active
 /// particles and the neighbour lists (indexed like `active`) are returned
 /// together with accumulated [`StepStats`].
-pub fn compute_density(
+pub fn compute_density<Q: NeighborQuery + ?Sized>(
     sys: &mut ParticleSystem,
-    tree: &Octree,
+    query: &Q,
     kernel: &dyn Kernel,
     cfg: &SphConfig,
     active: &[u32],
 ) -> (NeighborLists, StepStats) {
-    let search = NeighborSearch::new(tree, sys.periodicity);
     let target = cfg.target_neighbors as f64;
     let lo = (target * (1.0 - cfg.neighbor_tolerance)).floor() as usize;
     let hi = (target * (1.0 + cfg.neighbor_tolerance)).ceil() as usize;
@@ -165,31 +105,67 @@ pub fn compute_density(
             let mut h_iterations = 0u64;
             let mut interactions = 0u64;
             let mut max_search_radius = 0.0_f64;
+            // One candidate cache and one scratch row reused for every
+            // particle of the chunk plus one flat CSR fragment the
+            // finished rows append to — the per-particle `Vec` churn this
+            // pass used to pay is gone.
+            let mut cand: Vec<(u32, f64)> = Vec::with_capacity(cfg.target_neighbors * 4);
+            let mut row: Vec<u32> = Vec::with_capacity(cfg.target_neighbors * 2);
+            let mut flat: Vec<u32> = Vec::with_capacity(chunk.len() * cfg.target_neighbors);
+            let mut counts: Vec<u32> = Vec::with_capacity(chunk.len());
             let rows = chunk
                 .iter()
                 .map(|&ai| {
                     let i = ai as usize;
                     let xi = sys.x[i];
                     let mut h = sys.h[i];
-                    let mut neighbors: Vec<u32> = Vec::with_capacity(cfg.target_neighbors * 2);
                     let mut iterations = 0u64;
+                    // Candidate cache: the `(id, d²)` pairs of the exact
+                    // ball at the radius searched (or pruned to) last,
+                    // `r_cov`. A round whose radius fits inside the cache
+                    // is answered by *pruning* on the cached distances
+                    // instead of re-walking the structure — exact, because
+                    // the half-span clamp admits at most one periodic image
+                    // of a particle into any ball, so `d²` is the unique
+                    // accept value a fresh query at the smaller radius
+                    // would recompute. Typical initial guesses overshoot
+                    // the target count (h only shrinks), so most particles
+                    // pay exactly one structure walk however many rounds
+                    // they take; a growing radius falls back to a fresh
+                    // gather.
+                    let mut r_cov = 0.0_f64;
 
                     // --- Smoothing-length iteration (phases B–D of Fig. 4) ---
-                    // Loop invariant on exit: `neighbors` is the exact ball
-                    // query at the *final* `h` — every break happens after a
-                    // search at the current value. (The pre-fix starved
-                    // branch could break with a freshly grown `h` but the
-                    // neighbour set of the previous one, leaving the stored
-                    // h and the density sum inconsistent.) Distributed halo
-                    // symmetrisation relies on this invariant to recover a
-                    // ghost particle's gather set by one search at its
-                    // exchanged h.
+                    // Loop invariant on exit: `cand` is the exact ball
+                    // query at the *final* `h` — every break happens after
+                    // a gather or prune at the current value. (The pre-fix
+                    // starved branch could break with a freshly grown `h`
+                    // but the neighbour set of the previous one, leaving
+                    // the stored h and the density sum inconsistent.)
+                    // Distributed halo symmetrisation relies on this
+                    // invariant to recover a ghost particle's gather set by
+                    // one search at its exchanged h.
                     loop {
-                        neighbors.clear();
-                        max_search_radius = max_search_radius.max(SUPPORT_RADIUS * h);
-                        search.neighbors_within(xi, SUPPORT_RADIUS * h, &mut neighbors, &mut stats);
+                        let radius = SUPPORT_RADIUS * h;
+                        max_search_radius = max_search_radius.max(radius);
+                        let count = if radius > r_cov {
+                            cand.clear();
+                            query.neighbors_with_dist(xi, radius, &mut cand, &mut stats);
+                            cand.len()
+                        } else {
+                            // Same per-round clamp accounting a fresh query
+                            // would record; only the structure walk is
+                            // skipped.
+                            let clamped = query.clamp_radius(radius);
+                            if clamped < radius {
+                                stats.radius_clamps += 1;
+                            }
+                            let r2 = clamped * clamped;
+                            cand.retain(|&(_, d2)| d2 <= r2);
+                            cand.len()
+                        };
+                        r_cov = radius;
                         iterations += 1;
-                        let count = neighbors.len();
                         if iterations as usize >= cfg.max_h_iterations || (lo..=hi).contains(&count)
                         {
                             break;
@@ -209,38 +185,61 @@ pub fn compute_density(
                     }
 
                     // Canonical summation order: ascending particle index.
-                    // The tree walk yields neighbours in traversal order,
-                    // which depends on how the tree was built; sorting makes
-                    // every downstream reduction's FP rounding a function of
-                    // the particle *set* only — the property that lets a
+                    // The gather yields candidates in scan order, which
+                    // depends on how the structure was built; sorting makes
+                    // every downstream reduction's FP rounding a function
+                    // of the particle *set* only — the property that lets a
                     // per-rank evaluation over (owned ∪ ghost) subsets
-                    // reproduce the global sums bit-for-bit.
-                    neighbors.sort_unstable();
+                    // reproduce the global sums bit-for-bit. Only the
+                    // surviving row is sorted, never the raw candidates.
+                    row.clear();
+                    row.extend(cand.iter().map(|&(id, _)| id));
+                    row.sort_unstable();
 
                     // --- Density sum and grad-h term over the final support ---
+                    // Distances go through the periodic minimum-image
+                    // displacement — the exact arithmetic the pre-pipeline
+                    // path used, so densities match it bit-for-bit.
                     let mut rho = 0.0;
                     let mut drho_dh = 0.0;
-                    for &j in &neighbors {
+                    for &j in &row {
                         let j = j as usize;
                         let d = sys.periodicity.displacement(xi, sys.x[j]);
                         let r = d.norm();
-                        rho += sys.m[j] * kernel.w(r, h);
-                        drho_dh += sys.m[j] * kernel.dw_dh(r, h);
+                        let (w, dw_dh) = kernel.w_and_dw_dh(r, h);
+                        rho += sys.m[j] * w;
+                        drho_dh += sys.m[j] * dw_dh;
                         interactions += 1;
                     }
                     // Ω_i = 1 + (h/3ρ) ∂ρ/∂h
                     let omega = if rho > 0.0 { 1.0 + h / (3.0 * rho) * drho_dh } else { 1.0 };
                     h_iterations += iterations;
-                    DensityRow { h, rho, omega, neighbors }
+                    flat.extend_from_slice(&row);
+                    counts.push(row.len() as u32);
+                    DensityRow { h, rho, omega }
                 })
                 .collect();
-            DensityChunk { rows, stats, h_iterations, interactions, max_search_radius }
+            DensityChunk {
+                rows,
+                flat,
+                counts,
+                stats,
+                h_iterations,
+                interactions,
+                max_search_radius,
+            }
         })
         .collect();
 
-    // Ordered reduce: merge chunk counters and write rows back in `active`
-    // order (chunk order × row order reproduces it exactly).
-    let mut lists = Vec::with_capacity(active.len());
+    // Ordered reduce: merge chunk counters, write rows back in `active`
+    // order (chunk order × row order reproduces it exactly), and splice
+    // the chunk CSR fragments into the shared lists.
+    let total: usize = chunks.iter().map(|c| c.flat.len()).sum();
+    assert!(total <= u32::MAX as usize, "neighbour count overflows u32 CSR offsets");
+    let mut offsets = Vec::with_capacity(active.len() + 1);
+    offsets.push(0u32);
+    let mut indices = Vec::with_capacity(total);
+    let mut running = 0u32;
     let mut step = StepStats::default();
     let mut ids = active.iter();
     for chunk in chunks {
@@ -248,23 +247,25 @@ pub fn compute_density(
         step.h_iterations += chunk.h_iterations;
         step.sph_interactions += chunk.interactions;
         step.max_search_radius = step.max_search_radius.max(chunk.max_search_radius);
-        for row in chunk.rows {
+        for (row, count) in chunk.rows.into_iter().zip(chunk.counts) {
             let i = *ids.next().expect("chunk rows outnumber active ids") as usize;
             sys.h[i] = row.h;
             sys.rho[i] = row.rho;
             sys.omega[i] = if cfg.grad_h { row.omega } else { 1.0 };
-            lists.push(row.neighbors);
+            running += count;
+            offsets.push(running);
         }
+        indices.extend_from_slice(&chunk.flat);
     }
     step.active_particles += active.len() as u64;
-    (NeighborLists::from_lists(lists), step)
+    (NeighborLists::from_csr(offsets, indices), step)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sph_math::{Aabb, Periodicity, Vec3};
-    use sph_tree::OctreeConfig;
+    use sph_tree::{CellGrid, NeighborSearch, Octree, OctreeConfig};
 
     /// Uniform cubic lattice of n³ particles in the unit cube with total
     /// mass 1 ⇒ expected density 1 away from the open boundaries.
@@ -290,14 +291,10 @@ mod tests {
     }
 
     fn run_density(sys: &mut ParticleSystem, cfg: &SphConfig) -> (NeighborLists, StepStats) {
-        let tree = Octree::build(
-            &sys.x,
-            &sys.bounds(),
-            OctreeConfig { max_leaf_size: 32, parallel_sort: false },
-        );
+        let grid = CellGrid::build(&sys.x, sys.periodicity, SUPPORT_RADIUS * sys.max_h());
         let kernel = cfg.kernel.build();
         let active: Vec<u32> = (0..sys.len() as u32).collect();
-        compute_density(sys, &tree, kernel.as_ref(), cfg, &active)
+        compute_density(sys, &grid, kernel.as_ref(), cfg, &active)
     }
 
     #[test]
@@ -423,14 +420,60 @@ mod tests {
     }
 
     #[test]
+    fn cell_grid_path_is_bit_identical_to_the_octree_path() {
+        // The backend-exactness contract of the pipeline: the cell grid
+        // and the octree walk answer every ball query with identical FP
+        // accept arithmetic, so the *entire* density pass — adapted h,
+        // ρ, Ω, sorted lists, stats that feed the performance model —
+        // must match bit-for-bit between the two.
+        let cfg = SphConfig { target_neighbors: 50, max_h_iterations: 4, ..Default::default() };
+        let kernel = cfg.kernel.build();
+        let mut via_grid = lattice_system(10);
+        via_grid.periodicity = Periodicity::periodic_z(Aabb::unit());
+        let mut via_tree = via_grid.clone();
+        let active: Vec<u32> = (0..via_grid.len() as u32).collect();
+
+        let grid =
+            CellGrid::build(&via_grid.x, via_grid.periodicity, SUPPORT_RADIUS * via_grid.max_h());
+        let (lists_g, stats_g) =
+            compute_density(&mut via_grid, &grid, kernel.as_ref(), &cfg, &active);
+
+        let tree = Octree::build(
+            &via_tree.x,
+            &via_tree.bounds(),
+            OctreeConfig { max_leaf_size: 32, parallel_sort: false },
+        );
+        let search = NeighborSearch::new(&tree, via_tree.periodicity);
+        let (lists_t, stats_t) =
+            compute_density(&mut via_tree, &search, kernel.as_ref(), &cfg, &active);
+
+        for k in 0..lists_g.query_count() {
+            assert_eq!(lists_g.neighbors(k), lists_t.neighbors(k), "lists differ at particle {k}");
+            assert_eq!(via_grid.h[k].to_bits(), via_tree.h[k].to_bits(), "h differs at {k}");
+            assert_eq!(via_grid.rho[k].to_bits(), via_tree.rho[k].to_bits(), "ρ differs at {k}");
+            assert_eq!(
+                via_grid.omega[k].to_bits(),
+                via_tree.omega[k].to_bits(),
+                "Ω differs at {k}"
+            );
+        }
+        // Work counters that are backend-independent must agree exactly;
+        // nodes_visited legitimately differs (cells vs tree nodes).
+        assert_eq!(stats_g.h_iterations, stats_t.h_iterations);
+        assert_eq!(stats_g.sph_interactions, stats_t.sph_interactions);
+        assert_eq!(stats_g.neighbor.radius_clamps, stats_t.neighbor.radius_clamps);
+        assert_eq!(stats_g.max_search_radius.to_bits(), stats_t.max_search_radius.to_bits());
+    }
+
+    #[test]
     fn active_subset_only_touches_subset() {
         let mut sys = lattice_system(6);
         let cfg = SphConfig { target_neighbors: 40, ..Default::default() };
-        let tree = Octree::build(&sys.x, &sys.bounds(), OctreeConfig::default());
+        let grid = CellGrid::build(&sys.x, sys.periodicity, SUPPORT_RADIUS * sys.max_h());
         let kernel = cfg.kernel.build();
         let before_rho = sys.rho.clone();
         let active = [0u32, 5, 10];
-        let (lists, stats) = compute_density(&mut sys, &tree, kernel.as_ref(), &cfg, &active);
+        let (lists, stats) = compute_density(&mut sys, &grid, kernel.as_ref(), &cfg, &active);
         assert_eq!(lists.query_count(), 3);
         assert_eq!(stats.active_particles, 3);
         // Untouched particles keep their (zero) density.

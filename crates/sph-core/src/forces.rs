@@ -133,8 +133,9 @@ mod tests {
     use crate::eos::IdealGas;
     use crate::gradients::{compute_iad_matrices, compute_velocity_gradients};
     use crate::volume::compute_volume_elements;
+    use sph_kernels::SUPPORT_RADIUS;
     use sph_math::{Aabb, Periodicity, SplitMix64};
-    use sph_tree::{Octree, OctreeConfig};
+    use sph_tree::CellGrid;
 
     fn jittered(n: usize, jitter: f64, seed: u64) -> ParticleSystem {
         let mut rng = SplitMix64::new(seed);
@@ -166,14 +167,10 @@ mod tests {
     /// uses the symmetric closure of the gather lists so every pair is seen
     /// from both sides (conservation requires it).
     fn evaluate(sys: &mut ParticleSystem, cfg: &SphConfig) {
-        let tree = Octree::build(
-            &sys.x,
-            &sys.bounds(),
-            OctreeConfig { max_leaf_size: 32, parallel_sort: false },
-        );
+        let grid = CellGrid::build(&sys.x, sys.periodicity, SUPPORT_RADIUS * sys.max_h());
         let kernel = cfg.kernel.build();
         let active: Vec<u32> = (0..sys.len() as u32).collect();
-        let (lists, _) = compute_density(sys, &tree, kernel.as_ref(), cfg, &active);
+        let (lists, _) = compute_density(sys, &grid, kernel.as_ref(), cfg, &active);
         compute_volume_elements(sys, &lists, kernel.as_ref(), cfg, &active);
         if cfg.gradients == GradientScheme::Iad {
             compute_iad_matrices(sys, &lists, kernel.as_ref(), &active);

@@ -204,8 +204,9 @@ mod tests {
     use crate::config::SphConfig;
     use crate::density::compute_density;
     use crate::volume::compute_volume_elements;
+    use sph_kernels::SUPPORT_RADIUS;
     use sph_math::{Aabb, Periodicity, SplitMix64};
-    use sph_tree::{Octree, OctreeConfig};
+    use sph_tree::CellGrid;
 
     /// Jittered lattice: irregular enough to break naive estimators but
     /// with full support everywhere in the interior.
@@ -237,14 +238,10 @@ mod tests {
 
     /// Run density + volumes (+ IAD matrices when requested); return lists.
     fn prepare(sys: &mut ParticleSystem, cfg: &SphConfig) -> NeighborLists {
-        let tree = Octree::build(
-            &sys.x,
-            &sys.bounds(),
-            OctreeConfig { max_leaf_size: 32, parallel_sort: false },
-        );
+        let grid = CellGrid::build(&sys.x, sys.periodicity, SUPPORT_RADIUS * sys.max_h());
         let kernel = cfg.kernel.build();
         let active: Vec<u32> = (0..sys.len() as u32).collect();
-        let (lists, _) = compute_density(sys, &tree, kernel.as_ref(), cfg, &active);
+        let (lists, _) = compute_density(sys, &grid, kernel.as_ref(), cfg, &active);
         compute_volume_elements(sys, &lists, kernel.as_ref(), cfg, &active);
         if cfg.gradients == GradientScheme::Iad {
             compute_iad_matrices(sys, &lists, kernel.as_ref(), &active);

@@ -86,8 +86,9 @@ mod tests {
     use super::*;
     use crate::config::SphConfig;
     use crate::density::compute_density;
+    use sph_kernels::SUPPORT_RADIUS;
     use sph_math::{Aabb, Periodicity, Vec3};
-    use sph_tree::{Octree, OctreeConfig};
+    use sph_tree::CellGrid;
 
     fn lattice(n: usize) -> ParticleSystem {
         let spacing = 1.0 / n as f64;
@@ -115,14 +116,10 @@ mod tests {
     }
 
     fn run(cfg: &SphConfig, sys: &mut ParticleSystem) {
-        let tree = Octree::build(
-            &sys.x,
-            &sys.bounds(),
-            OctreeConfig { max_leaf_size: 32, parallel_sort: false },
-        );
+        let grid = CellGrid::build(&sys.x, sys.periodicity, SUPPORT_RADIUS * sys.max_h());
         let kernel = cfg.kernel.build();
         let active: Vec<u32> = (0..sys.len() as u32).collect();
-        let (lists, _) = compute_density(sys, &tree, kernel.as_ref(), cfg, &active);
+        let (lists, _) = compute_density(sys, &grid, kernel.as_ref(), cfg, &active);
         compute_volume_elements(sys, &lists, kernel.as_ref(), cfg, &active);
     }
 

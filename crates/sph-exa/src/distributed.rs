@@ -57,7 +57,7 @@ use sph_math::Aabb;
 use sph_profiler::timers::PhaseTimers;
 use sph_profiler::Phase;
 use sph_tree::{
-    GravityConfig, GravitySolver, NeighborSearch, Octree, OctreeConfig, TraversalStats,
+    CellGrid, GravityConfig, GravitySolver, NeighborQuery, Octree, OctreeConfig, TraversalStats,
 };
 
 /// Why a [`DistributedSimulation`] could not be constructed.
@@ -295,8 +295,9 @@ struct RankWorkspace {
     ghosts: Vec<(u32, u32)>,
     /// The rank's local particle system (extracted owned+ghost state).
     sys_l: ParticleSystem,
-    /// Octree over the local positions.
-    tree: Option<Octree>,
+    /// Cell grid over the local positions (owned ∪ ghost) — the spatial
+    /// structure every SPH pass of the attempt queries.
+    grid: Option<CellGrid>,
     /// Gather lists of the owned particles (from the density pass),
     /// indexed like `owned_k`.
     lists: NeighborLists,
@@ -496,9 +497,13 @@ impl DistributedSimulation {
                         .collect()
                 };
                 let sys_l = self.sys.subset(&locals);
-                let tree = (!locals.is_empty()).then(|| {
+                let grid = (!locals.is_empty()).then(|| {
                     self.timers[r].time(Phase::TreeBuild, || {
-                        Octree::build(&sys_l.x, &sys_l.bounds(), OctreeConfig::default())
+                        CellGrid::for_radius(
+                            &sys_l.x,
+                            sys_l.periodicity,
+                            SUPPORT_RADIUS * sys_l.max_h(),
+                        )
                     })
                 });
                 RankWorkspace {
@@ -506,7 +511,7 @@ impl DistributedSimulation {
                     owned_k,
                     ghosts,
                     sys_l,
-                    tree,
+                    grid,
                     lists: NeighborLists::default(),
                 }
             })
@@ -563,14 +568,14 @@ impl DistributedSimulation {
             let mut wss = self.build_workspaces(&halos);
             let mut attempt = StepStats::default();
             for (r, ws) in wss.iter_mut().enumerate() {
-                let Some(tree) = &ws.tree else { continue };
+                let Some(grid) = &ws.grid else { continue };
                 if ws.owned_k.is_empty() {
                     continue;
                 }
                 let (lists, dstats) = self.timers[r].time(Phase::Density, || {
                     compute_density(
                         &mut ws.sys_l,
-                        tree,
+                        grid,
                         self.kernel.as_ref(),
                         &self.config,
                         &ws.owned_k,
@@ -760,13 +765,12 @@ impl DistributedSimulation {
                 for (q, &k) in ws.owned_k.iter().enumerate() {
                     gather[k as usize] = ws.lists.neighbors(q).to_vec();
                 }
-                let tree = ws.tree.as_ref().expect("non-empty rank has a tree");
-                let search = NeighborSearch::new(tree, ws.sys_l.periodicity);
+                let grid = ws.grid.as_ref().expect("non-empty rank has a grid");
                 let mut ts = TraversalStats::default();
                 for &(k, _) in &ws.ghosts {
                     let k = k as usize;
                     let mut out = Vec::new();
-                    search.neighbors_within(
+                    grid.neighbors_within(
                         ws.sys_l.x[k],
                         SUPPORT_RADIUS * ws.sys_l.h[k],
                         &mut out,

@@ -6,17 +6,17 @@ use sph_core::diagnostics::Conservation;
 use sph_core::eos::IdealGas;
 use sph_core::forces::compute_forces;
 use sph_core::gradients::{compute_iad_matrices, compute_velocity_gradients};
-use sph_core::integrator::{drift, kick};
+use sph_core::integrator::{drift, kick, kick_drift, PingPongBuffers};
 use sph_core::particles::ParticleSystem;
 use sph_core::timestep::{
     active_at_substep, adaptive_dt, assign_rungs, global_dt, per_particle_dt, TimeStepError,
 };
 use sph_core::volume::compute_volume_elements;
 use sph_core::StepStats;
-use sph_kernels::Kernel;
+use sph_kernels::{Kernel, SUPPORT_RADIUS};
 use sph_profiler::timers::PhaseTimers;
 use sph_profiler::Phase;
-use sph_tree::{GravityConfig, GravitySolver, Octree, OctreeConfig, TraversalStats};
+use sph_tree::{CellGrid, GravityConfig, GravitySolver, Octree, OctreeConfig, TraversalStats};
 
 /// Result of one completed macro time-step.
 #[derive(Debug, Clone, Copy)]
@@ -91,6 +91,7 @@ impl SimulationBuilder {
             per_particle_work: vec![1.0; n],
             dt_prev: 0.0,
             timers: PhaseTimers::new(),
+            buffers: PingPongBuffers::new(n),
             derivatives_fresh: false,
         })
     }
@@ -114,6 +115,7 @@ pub struct Simulation {
     per_particle_work: Vec<f64>,
     dt_prev: f64,
     timers: PhaseTimers,
+    buffers: PingPongBuffers,
     derivatives_fresh: bool,
 }
 
@@ -166,18 +168,19 @@ impl Simulation {
         let mut stats = StepStats::default();
         let sys = &mut self.sys;
 
-        // Phase A: build the tree.
-        let bounds = sys.bounds();
-        let tree = self
-            .timers
-            .time(Phase::TreeBuild, || Octree::build(&sys.x, &bounds, OctreeConfig::default()));
+        // Phase A: sort particles into the uniform cell grid — the only
+        // spatial structure the SPH passes need. The octree is built later,
+        // and only when self-gravity asks for multipoles.
+        let grid = self.timers.time(Phase::TreeBuild, || {
+            CellGrid::for_radius(&sys.x, sys.periodicity, SUPPORT_RADIUS * sys.max_h())
+        });
 
         // Phases B–E: neighbours, smoothing lengths, density.
         let kernel = self.kernel.as_ref();
         let config = &self.config;
         let (lists, dstats) = self
             .timers
-            .time(Phase::Density, || compute_density(sys, &tree, kernel, config, active));
+            .time(Phase::Density, || compute_density(sys, &grid, kernel, config, active));
         stats.merge(&dstats);
 
         // Phase F: volume elements, IAD matrices, EOS, velocity gradients.
@@ -206,6 +209,8 @@ impl Simulation {
         // because it is the load measure the cluster model consumes.
         if let Some(gcfg) = self.gravity {
             let gstats = self.timers.time(Phase::Gravity, || {
+                let bounds = sys.bounds();
+                let tree = Octree::build(&sys.x, &bounds, OctreeConfig::default());
                 let solver = GravitySolver::new(&tree, &sys.m, gcfg);
                 type GravityRow = (usize, sph_tree::gravity::GravitySample, u64);
                 let chunks: Vec<(Vec<GravityRow>, TraversalStats)> = {
@@ -286,10 +291,11 @@ impl Simulation {
                     }
                     _ => global_dt(&dts)?,
                 };
-                // KDK leapfrog.
+                // KDK leapfrog: the first half-kick and the drift are fused
+                // into one gather → scatter pass over the ping-pong buffers
+                // (bit-identical to kick-then-drift).
                 self.timers.time(Phase::Update, || {
-                    kick(&mut self.sys, dt / 2.0, &all);
-                    drift(&mut self.sys, dt);
+                    kick_drift(&mut self.sys, &mut self.buffers, dt / 2.0, dt);
                 });
                 stats.merge(&self.evaluate_derivatives(&all));
                 self.timers.time(Phase::Update, || {

@@ -71,6 +71,22 @@ pub trait Kernel: Send + Sync {
         -self.sigma() / (h * h * h * h) * (3.0 * self.w_shape(q) + q * self.dw_shape(q))
     }
 
+    /// Fused `(W, ∂W/∂h)` evaluation for the density hot loop: one
+    /// `w_shape` call and one virtual dispatch instead of the two shape
+    /// evaluations and two dispatches separate [`Kernel::w`] +
+    /// [`Kernel::dw_dh`] calls pay per neighbour. The expressions are the
+    /// exact ones from those defaults (sharing the pure `w_shape(q)`
+    /// value), so the results are bit-identical to calling them apart.
+    #[inline]
+    fn w_and_dw_dh(&self, r: f64, h: f64) -> (f64, f64) {
+        debug_assert!(h > 0.0);
+        let q = r / h;
+        let ws = self.w_shape(q);
+        let w = self.sigma() / (h * h * h) * ws;
+        let dw_dh = -self.sigma() / (h * h * h * h) * (3.0 * ws + q * self.dw_shape(q));
+        (w, dw_dh)
+    }
+
     /// Gradient `∇_i W(|r_ij|, h)` for the displacement `r_ij = r_i − r_j`.
     /// Zero at the origin (the kernel is smooth and even there).
     #[inline]
@@ -215,6 +231,27 @@ mod tests {
                 "{}: fd={fd} analytic={an}",
                 k.name()
             );
+        }
+    }
+
+    #[test]
+    fn fused_w_and_dw_dh_is_bit_identical_to_separate_calls() {
+        // The density pass swaps two virtual calls for the fused one; the
+        // backend-exactness story requires the swap to change nothing.
+        for k in all_kernels() {
+            for i in 0..=80 {
+                let r = i as f64 * 0.03;
+                for &h in &[0.4, 1.0, 1.7] {
+                    let (w, dw_dh) = k.w_and_dw_dh(r, h);
+                    assert_eq!(w.to_bits(), k.w(r, h).to_bits(), "{} r={r} h={h}", k.name());
+                    assert_eq!(
+                        dw_dh.to_bits(),
+                        k.dw_dh(r, h).to_bits(),
+                        "{} r={r} h={h}",
+                        k.name()
+                    );
+                }
+            }
         }
     }
 

@@ -1,0 +1,820 @@
+//! Uniform cell-list neighbour pipeline (the per-step hot path).
+//!
+//! The octree walk in [`crate::neighbors`] answers one ball query at a
+//! time by chasing node pointers; every kernel pass used to re-run it per
+//! particle. This module replaces that inner loop with the classic
+//! cell-list pipeline: once per step the particles are binned into a
+//! uniform grid (a counting sort keyed by the flattened cell index — the
+//! same spatial hash a Morton key encodes, without needing the bit
+//! interleave), and ball queries become scans of the ≤ 27 (or more, for
+//! radii above the cell edge) cells overlapping the query ball. The
+//! results of the smoothing-length iteration are assembled into **compact
+//! CSR neighbour lists** ([`NeighborLists`]) that every downstream kernel
+//! pass (volume, IAD, velocity gradients, forces) streams over — the
+//! octree is kept only for gravity.
+//!
+//! Exactness contract: a [`CellGrid`] query evaluates the *identical*
+//! floating-point accept test as the octree walk — the same radius clamp,
+//! the same per-image Euclidean `dist_sq` against the same ghost-offset
+//! images — so both backends return the same neighbour *set* for every
+//! query, bit-for-bit. That is what lets the drivers switch backends
+//! without perturbing a single trajectory: identical sets → identical
+//! h-iteration → identical ascending-id summation order → identical sums.
+
+use crate::TraversalStats;
+use rayon::prelude::*;
+use sph_math::{Periodicity, Vec3, REDUCE_CHUNK};
+
+/// A backend that answers fixed-radius ball queries: the octree walk
+/// ([`crate::NeighborSearch`]) or the cell grid ([`CellGrid`]). The
+/// density / smoothing-length pass in `sph-core` is generic over this, so
+/// both paths share one implementation (and the benches can race them).
+pub trait NeighborQuery: Sync {
+    /// Largest usable search radius: strictly below half of every
+    /// periodic span (where the minimum image becomes ambiguous), the
+    /// input radius otherwise.
+    fn clamp_radius(&self, radius: f64) -> f64;
+
+    /// Indices (original particle ids) of all particles within `radius`
+    /// of `center`, appended to `out` (self included when in range).
+    /// Records a [`TraversalStats::radius_clamps`] event when the
+    /// periodic half-span clamp engages.
+    fn neighbors_within(
+        &self,
+        center: Vec3,
+        radius: f64,
+        out: &mut Vec<u32>,
+        stats: &mut TraversalStats,
+    );
+
+    /// Count of neighbours within `radius` of `center`, with no
+    /// allocation.
+    fn count_within(&self, center: Vec3, radius: f64, stats: &mut TraversalStats) -> usize;
+
+    /// Like [`NeighborQuery::neighbors_within`], but each id arrives with
+    /// the squared distance the accept test compared against `r²` — the
+    /// Euclidean `dist_sq` to the accepting periodic image, identical on
+    /// both backends by the exactness contract. Because the half-span
+    /// clamp keeps the ball strictly smaller than every periodic
+    /// half-span, at most one image of any particle can lie inside it, so
+    /// the distance is unique per id. The smoothing-length iteration
+    /// caches these pairs to answer shrinking-radius rounds by filtering
+    /// instead of re-walking the structure.
+    fn neighbors_with_dist(
+        &self,
+        center: Vec3,
+        radius: f64,
+        out: &mut Vec<(u32, f64)>,
+        stats: &mut TraversalStats,
+    );
+}
+
+/// Flattened (CSR) neighbour lists for a set of query particles: one
+/// `offsets` array and one flat `indices` array, shared by every kernel
+/// pass of the step.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborLists {
+    /// `offsets[k]..offsets[k+1]` indexes `indices` for query `k`.
+    offsets: Vec<u32>,
+    /// Neighbour particle ids (original indexing), self included.
+    indices: Vec<u32>,
+}
+
+impl NeighborLists {
+    /// Assemble from per-query rows (test/interop convenience; the hot
+    /// path builds the CSR arrays directly).
+    pub fn from_lists(lists: Vec<Vec<u32>>) -> Self {
+        let total: usize = lists.iter().map(|l| l.len()).sum();
+        assert!(total <= u32::MAX as usize, "neighbour count overflows u32 CSR offsets");
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        offsets.push(0u32);
+        let mut indices = Vec::with_capacity(total);
+        for l in lists {
+            indices.extend_from_slice(&l);
+            offsets.push(indices.len() as u32);
+        }
+        NeighborLists { offsets, indices }
+    }
+
+    /// Assemble from raw CSR arrays. `offsets` must be monotone with
+    /// `offsets[0] == 0` and `offsets.last() == indices.len()`.
+    pub fn from_csr(offsets: Vec<u32>, indices: Vec<u32>) -> Self {
+        assert!(!offsets.is_empty() && offsets[0] == 0, "CSR offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            indices.len(),
+            "CSR offsets/indices mismatch"
+        );
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "CSR offsets must be monotone");
+        NeighborLists { offsets, indices }
+    }
+
+    /// Neighbour slice of the k-th query particle.
+    #[inline]
+    pub fn neighbors(&self, k: usize) -> &[u32] {
+        let s = self.offsets[k] as usize;
+        let e = self.offsets[k + 1] as usize;
+        &self.indices[s..e]
+    }
+
+    /// Number of query particles covered.
+    pub fn query_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of stored neighbour entries.
+    pub fn total_neighbors(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Mean neighbours per query.
+    pub fn mean_count(&self) -> f64 {
+        if self.query_count() == 0 {
+            return 0.0;
+        }
+        self.total_neighbors() as f64 / self.query_count() as f64
+    }
+
+    /// Symmetric closure of the lists: if `j ∈ N(i)` then also `i ∈ N(j)`.
+    ///
+    /// The density pass gathers within each particle's *own* support
+    /// `2h_i`; with per-particle smoothing lengths that relation is not
+    /// symmetric, but the pairwise momentum/energy equations must see
+    /// every pair from both sides or conservation is silently broken.
+    /// Only valid when the lists cover *all* particles (query `k` ⇔
+    /// particle `k`).
+    ///
+    /// Rows must be (and stay) strictly ascending. The closure is built
+    /// allocation-lean: a reverse-edge CSR (scattered in ascending-`k`
+    /// order, so every reverse row is already sorted) merged row-by-row
+    /// with the forward lists — no per-particle sort or dedup pass.
+    pub fn symmetrized(&self) -> NeighborLists {
+        let n = self.query_count();
+        // Reverse-edge degrees: how many k ≠ j list j as a neighbour.
+        let mut rev_off = vec![0u32; n + 1];
+        for &j in &self.indices {
+            assert!((j as usize) < n, "symmetrized() requires full-system lists");
+        }
+        for k in 0..n {
+            for &j in self.neighbors(k) {
+                if j as usize != k {
+                    rev_off[j as usize + 1] += 1;
+                }
+            }
+        }
+        for j in 0..n {
+            rev_off[j + 1] += rev_off[j];
+        }
+        let mut rev_idx = vec![0u32; rev_off[n] as usize];
+        let mut cursor: Vec<u32> = rev_off[..n].to_vec();
+        for k in 0..n {
+            for &j in self.neighbors(k) {
+                if j as usize != k {
+                    let c = &mut cursor[j as usize];
+                    rev_idx[*c as usize] = k as u32;
+                    *c += 1;
+                }
+            }
+        }
+        // Merge-union each forward row with its (sorted) reverse row.
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut indices = Vec::with_capacity(self.indices.len() + rev_idx.len());
+        for k in 0..n {
+            let a = self.neighbors(k);
+            let b = &rev_idx[rev_off[k] as usize..rev_off[k + 1] as usize];
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => {
+                        indices.push(a[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        indices.push(b[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        indices.push(a[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            indices.extend_from_slice(&a[i..]);
+            indices.extend_from_slice(&b[j..]);
+            offsets.push(indices.len() as u32);
+        }
+        NeighborLists { offsets, indices }
+    }
+}
+
+/// Soft cap on the total cell count, as a multiple of the particle count:
+/// finer grids than ~one particle per cell only add empty-cell scan
+/// overhead and bloat the `cell_offsets` array.
+const MAX_CELLS_PER_PARTICLE: usize = 4;
+
+/// Uniform cell grid over a particle set — the per-step neighbour
+/// structure of the pipeline.
+///
+/// Built once per derivative evaluation with a counting sort (O(n), no
+/// key sort), then shared read-only by every query of the step. On
+/// periodic axes the grid spans exactly the periodic domain; on open axes
+/// it spans the tight particle bounds. Queries whose radius exceeds the
+/// cell edge scan proportionally more rings, so the smoothing-length
+/// iteration can grow its radius freely without rebuilding.
+pub struct CellGrid {
+    periodicity: Periodicity,
+    /// Grid origin (per axis: domain lo on periodic axes, tight particle
+    /// minimum on open axes).
+    lo: Vec3,
+    /// Cells per axis (≥ 1).
+    dims: [usize; 3],
+    /// `dims[axis] / span[axis]`; 0 for a degenerate (single-cell) axis.
+    inv_width: [f64; 3],
+    /// CSR over cells: `cell_offsets[c]..cell_offsets[c+1]` indexes the
+    /// sorted arrays below. Length `ncells + 1`.
+    cell_offsets: Vec<u32>,
+    /// Original particle ids, cell-major, ascending within each cell.
+    entries: Vec<u32>,
+    /// Positions in the same order as `entries` (cache-friendly scans).
+    sorted_pos: Vec<Vec3>,
+}
+
+impl CellGrid {
+    /// Build over `positions` with a target cell edge of `cell_size`
+    /// (the expected search radius, e.g. `2·h̄`). The actual edge is at
+    /// least `cell_size` on every axis (never smaller, so a typical query
+    /// scans ≤ 27 cells) and the total cell count is capped at
+    /// [`MAX_CELLS_PER_PARTICLE`]·n. Panics on an empty particle set or
+    /// non-finite positions, like [`crate::Octree::build`].
+    pub fn build(positions: &[Vec3], periodicity: Periodicity, cell_size: f64) -> CellGrid {
+        Self::build_impl(positions, periodicity, cell_size)
+    }
+
+    /// Build a grid tuned for ball queries up to `max_radius`: the cell
+    /// edge is set to **half** that radius. Radius-sized cells scan a
+    /// `(4r)³ = 64r³` volume for a `4πr³/3 ≈ 4.2r³` ball (a 15× candidate
+    /// overscan); half-radius cells shrink the scanned volume to
+    /// `(3r)³ = 27r³` — ~2.4× fewer distance tests for a slightly longer
+    /// (but contiguous and branch-light) cell loop. This is what the
+    /// drivers call; [`CellGrid::build`] keeps the exact edge for tests
+    /// and callers with their own tuning. Query results are identical
+    /// either way — cell size is purely a performance knob.
+    pub fn for_radius(positions: &[Vec3], periodicity: Periodicity, max_radius: f64) -> CellGrid {
+        Self::build_impl(positions, periodicity, 0.5 * max_radius)
+    }
+
+    fn build_impl(positions: &[Vec3], periodicity: Periodicity, cell_size: f64) -> CellGrid {
+        assert!(!positions.is_empty(), "cell grid: empty particle set");
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell grid: bad target cell size {cell_size}"
+        );
+        // Grid box: exact periodic domain on wrapping axes (so images and
+        // wrapped positions index consistently), tight bounds elsewhere.
+        let mut lo = Vec3::ZERO;
+        let mut span = [0.0f64; 3];
+        for (axis, span_axis) in span.iter_mut().enumerate() {
+            if periodicity.periodic[axis] {
+                *lo.component_mut(axis) = periodicity.domain.lo.component(axis);
+                *span_axis = periodicity.domain.extent().component(axis);
+            } else {
+                let mut mn = f64::INFINITY;
+                let mut mx = f64::NEG_INFINITY;
+                for (i, p) in positions.iter().enumerate() {
+                    let c = p.component(axis);
+                    assert!(
+                        c.is_finite(),
+                        "cell grid: non-finite position for particle {i}: {p:?}"
+                    );
+                    mn = mn.min(c);
+                    mx = mx.max(c);
+                }
+                *lo.component_mut(axis) = mn;
+                *span_axis = mx - mn;
+            }
+        }
+        let mut dims = [1usize; 3];
+        for axis in 0..3 {
+            if span[axis] > 0.0 {
+                dims[axis] = ((span[axis] / cell_size).floor() as usize).max(1);
+            }
+        }
+        // Deterministic cap: halve the largest axis until the total cell
+        // count is proportionate to the particle count.
+        let cap = (MAX_CELLS_PER_PARTICLE * positions.len()).max(8);
+        while dims[0] * dims[1] * dims[2] > cap {
+            let widest = (0..3).max_by_key(|&a| dims[a]).unwrap();
+            dims[widest] = dims[widest].div_ceil(2);
+        }
+        let mut inv_width = [0.0f64; 3];
+        for axis in 0..3 {
+            if span[axis] > 0.0 {
+                inv_width[axis] = dims[axis] as f64 / span[axis];
+            }
+        }
+
+        let grid = CellGrid {
+            periodicity,
+            lo,
+            dims,
+            inv_width,
+            cell_offsets: Vec::new(),
+            entries: Vec::new(),
+            sorted_pos: Vec::new(),
+        };
+        let ncells = dims[0] * dims[1] * dims[2];
+
+        // Counting sort by flattened cell index. Iterating particles in
+        // ascending id keeps each cell's entries ascending — the
+        // canonical order downstream summation relies on — and the whole
+        // build is a deterministic O(n + ncells) sequential pass (cheaper
+        // than any parallel alternative at the cell counts this serves).
+        let mut cell_of = Vec::with_capacity(positions.len());
+        let mut counts = vec![0u32; ncells + 1];
+        for (i, p) in positions.iter().enumerate() {
+            assert!(p.is_finite(), "cell grid: non-finite position for particle {i}: {p:?}");
+            let c = grid.flat_cell(grid.cell_coord(*p));
+            cell_of.push(c as u32);
+            counts[c + 1] += 1;
+        }
+        for c in 0..ncells {
+            counts[c + 1] += counts[c];
+        }
+        let mut entries = vec![0u32; positions.len()];
+        let mut sorted_pos = vec![Vec3::ZERO; positions.len()];
+        let mut cursor: Vec<u32> = counts[..ncells].to_vec();
+        for (i, &c) in cell_of.iter().enumerate() {
+            let slot = cursor[c as usize] as usize;
+            entries[slot] = i as u32;
+            sorted_pos[slot] = positions[i];
+            cursor[c as usize] += 1;
+        }
+        CellGrid { cell_offsets: counts, entries, sorted_pos, ..grid }
+    }
+
+    /// Cells per axis (diagnostics/tests).
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Number of particles indexed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no particles are indexed (unreachable via `build`).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Grid coordinates of a position, clamped into the grid (positions
+    /// exactly on the high face — FP wrap can land there — fold into the
+    /// last cell).
+    #[inline]
+    fn cell_coord(&self, p: Vec3) -> [usize; 3] {
+        let mut c = [0usize; 3];
+        for (axis, c_axis) in c.iter_mut().enumerate() {
+            let t = (p.component(axis) - self.lo.component(axis)) * self.inv_width[axis];
+            *c_axis = (t.floor().max(0.0) as usize).min(self.dims[axis] - 1);
+        }
+        c
+    }
+
+    /// Flatten grid coordinates (x fastest, like the Morton cell layout).
+    #[inline]
+    fn flat_cell(&self, c: [usize; 3]) -> usize {
+        (c[2] * self.dims[1] + c[1]) * self.dims[0] + c[0]
+    }
+
+    /// Inclusive cell range covering `[v − r, v + r]` on one axis,
+    /// clamped into the grid. Ghost images handle periodic wrap, so
+    /// clamping (not modular wrap) is correct on every axis.
+    #[inline]
+    fn axis_range(&self, axis: usize, v: f64, r: f64) -> (usize, usize) {
+        let lo = self.lo.component(axis);
+        let iw = self.inv_width[axis];
+        let max = self.dims[axis] - 1;
+        let a = (((v - r) - lo) * iw).floor().max(0.0) as usize;
+        let b = (((v + r) - lo) * iw).floor().max(0.0) as usize;
+        (a.min(max), b.min(max))
+    }
+
+    /// Scan every cell overlapping the ball at one (possibly image)
+    /// centre. The accept test is the plain Euclidean `dist_sq` the
+    /// octree leaf scan uses — exactness contract of the module.
+    fn scan_one_image(
+        &self,
+        center: Vec3,
+        radius: f64,
+        mut visit: impl FnMut(usize, f64),
+        stats: &mut TraversalStats,
+    ) {
+        let r2 = radius * radius;
+        let (x0, x1) = self.axis_range(0, center.x, radius);
+        let (y0, y1) = self.axis_range(1, center.y, radius);
+        let (z0, z1) = self.axis_range(2, center.z, radius);
+        for iz in z0..=z1 {
+            for iy in y0..=y1 {
+                let row = (iz * self.dims[1] + iy) * self.dims[0];
+                for ix in x0..=x1 {
+                    let cell = row + ix;
+                    stats.nodes_visited += 1;
+                    let s = self.cell_offsets[cell] as usize;
+                    let e = self.cell_offsets[cell + 1] as usize;
+                    for k in s..e {
+                        stats.p2p_interactions += 1;
+                        let d2 = self.sorted_pos[k].dist_sq(center);
+                        if d2 <= r2 {
+                            visit(k, d2);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl NeighborQuery for CellGrid {
+    fn clamp_radius(&self, radius: f64) -> f64 {
+        let mut r = radius;
+        for axis in 0..3 {
+            if self.periodicity.periodic[axis] {
+                let span = self.periodicity.domain.extent().component(axis);
+                r = r.min(0.5 * span * (1.0 - 1e-9));
+            }
+        }
+        r
+    }
+
+    fn neighbors_within(
+        &self,
+        center: Vec3,
+        radius: f64,
+        out: &mut Vec<u32>,
+        stats: &mut TraversalStats,
+    ) {
+        assert!(radius > 0.0 && radius.is_finite(), "bad search radius {radius}");
+        let clamped = self.clamp_radius(radius);
+        if clamped < radius {
+            stats.radius_clamps += 1;
+        }
+        for_each_image_offset(&self.periodicity, center, clamped, |offset| {
+            self.scan_one_image(center + offset, clamped, |k, _| out.push(self.entries[k]), stats);
+        });
+    }
+
+    fn count_within(&self, center: Vec3, radius: f64, stats: &mut TraversalStats) -> usize {
+        assert!(radius > 0.0 && radius.is_finite(), "bad search radius {radius}");
+        let clamped = self.clamp_radius(radius);
+        if clamped < radius {
+            stats.radius_clamps += 1;
+        }
+        let mut count = 0usize;
+        for_each_image_offset(&self.periodicity, center, clamped, |offset| {
+            self.scan_one_image(center + offset, clamped, |_, _| count += 1, stats);
+        });
+        count
+    }
+
+    fn neighbors_with_dist(
+        &self,
+        center: Vec3,
+        radius: f64,
+        out: &mut Vec<(u32, f64)>,
+        stats: &mut TraversalStats,
+    ) {
+        assert!(radius > 0.0 && radius.is_finite(), "bad search radius {radius}");
+        let clamped = self.clamp_radius(radius);
+        if clamped < radius {
+            stats.radius_clamps += 1;
+        }
+        for_each_image_offset(&self.periodicity, center, clamped, |offset| {
+            self.scan_one_image(
+                center + offset,
+                clamped,
+                |k, d2| out.push((self.entries[k], d2)),
+                stats,
+            );
+        });
+    }
+}
+
+/// Enumerate the same image offsets as `Periodicity::ghost_offsets`
+/// without allocating: identity plus every combination of the per-axis
+/// face shifts. Identity comes first; combination order differs from the
+/// Vec-building original, which is immaterial to counting and stats.
+pub(crate) fn for_each_image_offset(per: &Periodicity, p: Vec3, r: f64, mut f: impl FnMut(Vec3)) {
+    let mut shift = [0.0f64; 3];
+    for (axis, shift_axis) in shift.iter_mut().enumerate() {
+        if !per.periodic[axis] {
+            continue;
+        }
+        let span = per.domain.extent().component(axis);
+        if span <= 0.0 {
+            continue;
+        }
+        let lo = per.domain.lo.component(axis);
+        let hi = per.domain.hi.component(axis);
+        let c = p.component(axis);
+        if c - lo < r {
+            *shift_axis = span;
+        } else if hi - c < r {
+            *shift_axis = -span;
+        }
+    }
+    for mask in 0u32..8 {
+        let mut offset = Vec3::ZERO;
+        let mut skip = false;
+        for (axis, &s) in shift.iter().enumerate() {
+            if mask & (1 << axis) != 0 {
+                if s == 0.0 {
+                    skip = true; // this axis has no image: mask duplicates another
+                    break;
+                }
+                *offset.component_mut(axis) = s;
+            }
+        }
+        if !skip {
+            f(offset);
+        }
+    }
+}
+
+/// Batch ball queries into one CSR structure: the shape of the per-step
+/// neighbour phase (Fig. 4 phases B–D). Chunked map over fixed
+/// `REDUCE_CHUNK` boundaries + ordered reduce, so the assembled lists and
+/// merged stats are bit-identical for any thread count. Each row is
+/// sorted ascending (the canonical summation order).
+pub fn build_csr_lists<Q: NeighborQuery + ?Sized>(
+    query: &Q,
+    centers: &[Vec3],
+    radii: &[f64],
+) -> (NeighborLists, TraversalStats) {
+    assert_eq!(centers.len(), radii.len());
+    struct CsrChunk {
+        flat: Vec<u32>,
+        counts: Vec<u32>,
+        stats: TraversalStats,
+    }
+    let chunks: Vec<CsrChunk> = centers
+        .par_chunks(REDUCE_CHUNK)
+        .enumerate()
+        .map(|(c, chunk)| {
+            let base = c * REDUCE_CHUNK;
+            let mut stats = TraversalStats::default();
+            let mut flat = Vec::with_capacity(chunk.len() * 64);
+            let mut counts = Vec::with_capacity(chunk.len());
+            for (off, &center) in chunk.iter().enumerate() {
+                let before = flat.len();
+                query.neighbors_within(center, radii[base + off], &mut flat, &mut stats);
+                flat[before..].sort_unstable();
+                counts.push((flat.len() - before) as u32);
+            }
+            CsrChunk { flat, counts, stats }
+        })
+        .collect();
+    // Ordered reduce straight into the CSR arrays.
+    let total: usize = chunks.iter().map(|c| c.flat.len()).sum();
+    assert!(total <= u32::MAX as usize, "neighbour count overflows u32 CSR offsets");
+    let mut offsets = Vec::with_capacity(centers.len() + 1);
+    offsets.push(0u32);
+    let mut indices = Vec::with_capacity(total);
+    let mut merged = TraversalStats::default();
+    let mut running = 0u32;
+    for chunk in chunks {
+        merged.merge(&chunk.stats);
+        for c in chunk.counts {
+            running += c;
+            offsets.push(running);
+        }
+        indices.extend_from_slice(&chunk.flat);
+    }
+    (NeighborLists::from_csr(offsets, indices), merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sph_math::{Aabb, SplitMix64};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64())).collect()
+    }
+
+    fn brute_force(pts: &[Vec3], per: &Periodicity, c: Vec3, r: f64) -> Vec<u32> {
+        (0..pts.len() as u32).filter(|&i| per.distance_sq(pts[i as usize], c) <= r * r).collect()
+    }
+
+    #[test]
+    fn matches_brute_force_open_domain() {
+        let pts = random_points(2000, 31);
+        let per = Periodicity::open(Aabb::unit());
+        let grid = CellGrid::build(&pts, per, 0.1);
+        let mut rng = SplitMix64::new(77);
+        for _ in 0..50 {
+            let c = Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64());
+            let r = rng.uniform(0.02, 0.3);
+            let mut found = Vec::new();
+            let mut stats = TraversalStats::default();
+            grid.neighbors_within(c, r, &mut found, &mut stats);
+            found.sort_unstable();
+            assert_eq!(found, brute_force(&pts, &per, c, r), "c={c:?} r={r}");
+            assert!(stats.nodes_visited > 0);
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_fully_periodic() {
+        let pts = random_points(1200, 41);
+        let per = Periodicity::fully_periodic(Aabb::unit());
+        let grid = CellGrid::build(&pts, per, 0.12);
+        let mut rng = SplitMix64::new(88);
+        for _ in 0..60 {
+            // Bias toward the faces to stress the image scans.
+            let pick = |rng: &mut SplitMix64| {
+                if rng.next_f64() < 0.5 {
+                    rng.uniform(0.0, 0.08)
+                } else {
+                    rng.uniform(0.08, 1.0)
+                }
+            };
+            let c = Vec3::new(pick(&mut rng), pick(&mut rng), pick(&mut rng));
+            let r = rng.uniform(0.02, 0.2);
+            let mut found = Vec::new();
+            let mut stats = TraversalStats::default();
+            grid.neighbors_within(c, r, &mut found, &mut stats);
+            found.sort_unstable();
+            assert_eq!(found, brute_force(&pts, &per, c, r), "c={c:?} r={r}");
+        }
+    }
+
+    #[test]
+    fn radius_spanning_many_cells_is_exact() {
+        // Radii well past the cell edge force multi-ring scans.
+        let pts = random_points(800, 5);
+        let per = Periodicity::open(Aabb::unit());
+        let grid = CellGrid::build(&pts, per, 0.05);
+        assert!(grid.dims().iter().all(|&d| d >= 4), "grid too coarse for the test");
+        for r in [0.04, 0.11, 0.26, 0.7] {
+            let c = Vec3::splat(0.4);
+            let mut found = Vec::new();
+            let mut stats = TraversalStats::default();
+            grid.neighbors_within(c, r, &mut found, &mut stats);
+            found.sort_unstable();
+            assert_eq!(found, brute_force(&pts, &per, c, r), "r={r}");
+        }
+    }
+
+    #[test]
+    fn count_matches_list_and_is_clamp_aware() {
+        let pts = random_points(600, 9);
+        let per = Periodicity::periodic_z(Aabb::unit());
+        let grid = CellGrid::build(&pts, per, 0.1);
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..30 {
+            let c = Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64());
+            let r = rng.uniform(0.02, 0.7);
+            let mut list_stats = TraversalStats::default();
+            let mut out = Vec::new();
+            grid.neighbors_within(c, r, &mut out, &mut list_stats);
+            let mut count_stats = TraversalStats::default();
+            let n = grid.count_within(c, r, &mut count_stats);
+            assert_eq!(n, out.len(), "c={c:?} r={r}");
+            assert_eq!(count_stats.radius_clamps, list_stats.radius_clamps);
+        }
+    }
+
+    #[test]
+    fn clamp_counter_fires_exactly_when_the_clamp_engages() {
+        let pts = random_points(100, 17);
+        let grid = CellGrid::build(&pts, Periodicity::periodic_z(Aabb::unit()), 0.2);
+        let mut stats = TraversalStats::default();
+        let mut out = Vec::new();
+        // Below half the z span: no clamp event.
+        grid.neighbors_within(Vec3::splat(0.5), 0.3, &mut out, &mut stats);
+        assert_eq!(stats.radius_clamps, 0);
+        // Past half the z span: exactly one event per query.
+        out.clear();
+        grid.neighbors_within(Vec3::splat(0.5), 0.6, &mut out, &mut stats);
+        assert_eq!(stats.radius_clamps, 1);
+        grid.count_within(Vec3::splat(0.5), 0.6, &mut stats);
+        assert_eq!(stats.radius_clamps, 2);
+        // Open domain: never clamps.
+        let open = CellGrid::build(&pts, Periodicity::open(Aabb::unit()), 0.2);
+        let mut ostats = TraversalStats::default();
+        out.clear();
+        open.neighbors_within(Vec3::splat(0.5), 9.0, &mut out, &mut ostats);
+        assert_eq!(ostats.radius_clamps, 0);
+        assert_eq!(out.len(), pts.len());
+    }
+
+    #[test]
+    fn entries_within_a_cell_are_ascending() {
+        let pts = random_points(3000, 23);
+        let grid = CellGrid::build(&pts, Periodicity::open(Aabb::unit()), 0.15);
+        let ncells = grid.dims[0] * grid.dims[1] * grid.dims[2];
+        let mut seen = vec![false; pts.len()];
+        for c in 0..ncells {
+            let s = grid.cell_offsets[c] as usize;
+            let e = grid.cell_offsets[c + 1] as usize;
+            let cell = &grid.entries[s..e];
+            assert!(cell.windows(2).all(|w| w[0] < w[1]), "cell {c} not ascending");
+            for &i in cell {
+                assert!(!seen[i as usize], "particle {i} indexed twice");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some particle was dropped");
+    }
+
+    #[test]
+    fn cell_count_is_capped() {
+        // A huge spread with a tiny cell size must not explode the grid.
+        let pts = random_points(100, 2);
+        let grid = CellGrid::build(&pts, Periodicity::open(Aabb::unit()), 1e-4);
+        let ncells = grid.dims[0] * grid.dims[1] * grid.dims[2];
+        assert!(ncells <= (MAX_CELLS_PER_PARTICLE * pts.len()).max(8));
+        // Queries stay exact after the cap.
+        let per = Periodicity::open(Aabb::unit());
+        let mut out = Vec::new();
+        let mut stats = TraversalStats::default();
+        grid.neighbors_within(Vec3::splat(0.5), 0.25, &mut out, &mut stats);
+        out.sort_unstable();
+        assert_eq!(out, brute_force(&pts, &per, Vec3::splat(0.5), 0.25));
+    }
+
+    #[test]
+    fn degenerate_single_point_set() {
+        let pts = vec![Vec3::splat(0.5)];
+        let grid = CellGrid::build(&pts, Periodicity::open(Aabb::unit()), 0.1);
+        let mut out = Vec::new();
+        let mut stats = TraversalStats::default();
+        grid.neighbors_within(Vec3::splat(0.5), 0.01, &mut out, &mut stats);
+        assert_eq!(out, vec![0]);
+        assert_eq!(grid.count_within(Vec3::splat(0.5), 0.01, &mut stats), 1);
+    }
+
+    #[test]
+    fn batch_csr_matches_single_queries() {
+        let pts = random_points(900, 21);
+        let per = Periodicity::fully_periodic(Aabb::unit());
+        let grid = CellGrid::build(&pts, per, 0.1);
+        let centers: Vec<Vec3> = pts[..150].to_vec();
+        let radii: Vec<f64> = (0..150).map(|i| 0.05 + 0.001 * i as f64).collect();
+        let (lists, stats) = build_csr_lists(&grid, &centers, &radii);
+        assert_eq!(lists.query_count(), 150);
+        assert!(stats.p2p_interactions > 0);
+        for (i, (&c, &r)) in centers.iter().zip(&radii).enumerate() {
+            let mut expect = brute_force(&pts, &per, c, r);
+            expect.sort_unstable();
+            assert_eq!(lists.neighbors(i), expect, "query {i}");
+        }
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let lists = vec![vec![1, 2, 3], vec![], vec![7]];
+        let nl = NeighborLists::from_lists(lists);
+        assert_eq!(nl.query_count(), 3);
+        assert_eq!(nl.neighbors(0), &[1, 2, 3]);
+        assert_eq!(nl.neighbors(1), &[] as &[u32]);
+        assert_eq!(nl.neighbors(2), &[7]);
+        assert_eq!(nl.total_neighbors(), 4);
+        assert!((nl.mean_count() - 4.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn symmetrized_matches_naive_closure() {
+        let mut rng = SplitMix64::new(6);
+        // Random asymmetric gather lists over 40 particles, self included,
+        // rows ascending (the production invariant).
+        let n = 40usize;
+        let rows: Vec<Vec<u32>> = (0..n as u32)
+            .map(|k| {
+                let mut row: Vec<u32> =
+                    (0..n as u32).filter(|&j| j == k || rng.next_f64() < 0.15).collect();
+                row.sort_unstable();
+                row
+            })
+            .collect();
+        let nl = NeighborLists::from_lists(rows.clone());
+        let sym = nl.symmetrized();
+        // Naive reference: push reverse edges, sort, dedup.
+        let mut sets = rows.clone();
+        for (k, row) in rows.iter().enumerate() {
+            for &j in row {
+                if j as usize != k {
+                    sets[j as usize].push(k as u32);
+                }
+            }
+        }
+        for (k, s) in sets.iter_mut().enumerate() {
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(sym.neighbors(k), s.as_slice(), "row {k}");
+        }
+    }
+}

@@ -12,8 +12,11 @@
 //!   domain decomposition in `sph-domain`;
 //! * [`octree`] — a linear octree built over Morton-sorted particles, with
 //!   a rayon-parallel construction path;
-//! * [`neighbors`] — fixed-radius neighbour search with optional per-axis
-//!   periodicity (the square patch wraps in z);
+//! * [`neighbors`] — fixed-radius neighbour search by tree walk with
+//!   optional per-axis periodicity (the square patch wraps in z);
+//! * [`cell_list`] — the uniform-grid neighbour pipeline and the CSR
+//!   neighbour lists every SPH kernel pass streams over (the production
+//!   hot path; the octree walk remains as reference and gravity support);
 //! * [`gravity`] — multipole moments (monopole + quadrupole), an
 //!   opening-angle MAC, a Barnes–Hut traversal, and a direct-summation
 //!   reference used by the validation tests.
@@ -23,11 +26,13 @@
 //! compute time, which is how the strong-scaling figures are produced
 //! without the authors' hardware.
 
+pub mod cell_list;
 pub mod gravity;
 pub mod morton;
 pub mod neighbors;
 pub mod octree;
 
+pub use cell_list::{build_csr_lists, CellGrid, NeighborLists, NeighborQuery};
 pub use gravity::{GravityConfig, GravitySolver, MultipoleOrder};
 pub use neighbors::NeighborSearch;
 pub use octree::{Octree, OctreeConfig};
@@ -36,12 +41,18 @@ pub use octree::{Octree, OctreeConfig};
 /// model (`sph-cluster` charges modelled seconds per unit of each).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraversalStats {
-    /// Tree nodes visited (pruning tests executed).
+    /// Tree nodes visited (pruning tests executed); for the cell-list
+    /// backend, cells scanned.
     pub nodes_visited: u64,
     /// Particle–particle interactions evaluated.
     pub p2p_interactions: u64,
     /// Particle–multipole (cell) interactions evaluated.
     pub p2m_interactions: u64,
+    /// Ball queries whose radius was clamped below half a periodic span.
+    /// A sustained nonzero rate means `2h` outgrew the domain — support
+    /// is silently truncated, which the step statistics must surface
+    /// instead of hiding.
+    pub radius_clamps: u64,
 }
 
 impl TraversalStats {
@@ -49,6 +60,7 @@ impl TraversalStats {
         self.nodes_visited += o.nodes_visited;
         self.p2p_interactions += o.p2p_interactions;
         self.p2m_interactions += o.p2m_interactions;
+        self.radius_clamps += o.radius_clamps;
     }
 
     /// Total interaction count, the dominant cost driver.
@@ -63,10 +75,21 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = TraversalStats { nodes_visited: 1, p2p_interactions: 2, p2m_interactions: 3 };
-        let b = TraversalStats { nodes_visited: 10, p2p_interactions: 20, p2m_interactions: 30 };
+        let mut a = TraversalStats {
+            nodes_visited: 1,
+            p2p_interactions: 2,
+            p2m_interactions: 3,
+            radius_clamps: 4,
+        };
+        let b = TraversalStats {
+            nodes_visited: 10,
+            p2p_interactions: 20,
+            p2m_interactions: 30,
+            radius_clamps: 40,
+        };
         a.merge(&b);
         assert_eq!(a.nodes_visited, 11);
         assert_eq!(a.total_interactions(), 55);
+        assert_eq!(a.radius_clamps, 44);
     }
 }

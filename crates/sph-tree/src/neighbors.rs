@@ -7,10 +7,16 @@
 //! count visited nodes / evaluated pairs in [`TraversalStats`] for the
 //! performance model.
 
+use crate::cell_list::{build_csr_lists, for_each_image_offset, NeighborLists, NeighborQuery};
+use crate::morton::BITS_PER_AXIS;
 use crate::octree::Octree;
 use crate::TraversalStats;
-use rayon::prelude::*;
-use sph_math::{Periodicity, Vec3, REDUCE_CHUNK};
+use sph_math::{Periodicity, Vec3};
+
+/// Fixed capacity for the non-allocating traversal stack: each pop of an
+/// internal node pushes at most 8 children (net +7) and the tree is at
+/// most `BITS_PER_AXIS` levels deep.
+const STACK_CAP: usize = 8 * (BITS_PER_AXIS as usize + 2);
 
 /// Neighbour search over a built octree.
 pub struct NeighborSearch<'a> {
@@ -43,9 +49,39 @@ impl<'a> NeighborSearch<'a> {
         stats: &mut TraversalStats,
     ) {
         assert!(radius > 0.0 && radius.is_finite(), "bad search radius {radius}");
-        let radius = self.clamp_radius(radius);
-        for offset in self.periodicity.ghost_offsets(center, radius) {
-            self.search_one_image(center + offset, radius, out, stats);
+        let clamped = self.clamp_radius(radius);
+        if clamped < radius {
+            stats.radius_clamps += 1;
+        }
+        for offset in self.periodicity.ghost_offsets(center, clamped) {
+            self.search_one_image(center + offset, clamped, &mut |id, _| out.push(id), stats);
+        }
+    }
+
+    /// Twin of [`Self::neighbors_within`] that surfaces each accepted
+    /// pair's squared distance (to the accepting periodic image — the
+    /// very value the walk compared against `r²`). See
+    /// [`NeighborQuery::neighbors_with_dist`] for the uniqueness
+    /// guarantee the half-span clamp provides.
+    pub fn neighbors_with_dist(
+        &self,
+        center: Vec3,
+        radius: f64,
+        out: &mut Vec<(u32, f64)>,
+        stats: &mut TraversalStats,
+    ) {
+        assert!(radius > 0.0 && radius.is_finite(), "bad search radius {radius}");
+        let clamped = self.clamp_radius(radius);
+        if clamped < radius {
+            stats.radius_clamps += 1;
+        }
+        for offset in self.periodicity.ghost_offsets(center, clamped) {
+            self.search_one_image(
+                center + offset,
+                clamped,
+                &mut |id, d2| out.push((id, d2)),
+                stats,
+            );
         }
     }
 
@@ -63,12 +99,13 @@ impl<'a> NeighborSearch<'a> {
         r
     }
 
-    /// Plain (non-periodic) search from one image of the centre.
+    /// Plain (non-periodic) search from one image of the centre. The
+    /// visitor receives `(original id, accept-test dist²)`.
     fn search_one_image(
         &self,
         center: Vec3,
         radius: f64,
-        out: &mut Vec<u32>,
+        visit: &mut impl FnMut(u32, f64),
         stats: &mut TraversalStats,
     ) {
         let r2 = radius * radius;
@@ -87,8 +124,9 @@ impl<'a> NeighborSearch<'a> {
             if node.is_leaf() {
                 for k in node.start..node.end {
                     stats.p2p_interactions += 1;
-                    if pos[k as usize].dist_sq(center) <= r2 {
-                        out.push(order[k as usize]);
+                    let d2 = pos[k as usize].dist_sq(center);
+                    if d2 <= r2 {
+                        visit(order[k as usize], d2);
                     }
                 }
             } else {
@@ -101,52 +139,100 @@ impl<'a> NeighborSearch<'a> {
         }
     }
 
-    /// Count of neighbours within `radius` of `center` (no allocation).
+    /// Count of neighbours within `radius` of `center` — genuinely
+    /// allocation-free: a fixed-capacity traversal stack and an inline
+    /// enumeration of the periodic image offsets (no temporary result
+    /// `Vec`, no heap at all).
     pub fn count_within(&self, center: Vec3, radius: f64, stats: &mut TraversalStats) -> usize {
-        let mut tmp = Vec::with_capacity(64);
-        self.neighbors_within(center, radius, &mut tmp, stats);
-        tmp.len()
+        assert!(radius > 0.0 && radius.is_finite(), "bad search radius {radius}");
+        let clamped = self.clamp_radius(radius);
+        if clamped < radius {
+            stats.radius_clamps += 1;
+        }
+        let mut count = 0usize;
+        for_each_image_offset(&self.periodicity, center, clamped, |offset| {
+            count += self.count_one_image(center + offset, clamped, stats);
+        });
+        count
     }
 
-    /// Batch search: neighbour lists for many query points in parallel.
-    ///
-    /// Returns one `Vec<u32>` per query plus the merged traversal stats.
-    /// This is the shape of the per-time-step neighbour phase (Fig. 4
-    /// phases B–D) and is embarrassingly parallel over queries.
+    /// Counting twin of `search_one_image` on a fixed-capacity stack.
+    fn count_one_image(&self, center: Vec3, radius: f64, stats: &mut TraversalStats) -> usize {
+        let r2 = radius * radius;
+        let nodes = self.tree.nodes();
+        let pos = self.tree.sorted_positions();
+        let mut count = 0usize;
+        let mut stack = [0u32; STACK_CAP];
+        let mut top = 1usize; // stack[0] = root (0) already
+        while top > 0 {
+            top -= 1;
+            let node = &nodes[stack[top] as usize];
+            stats.nodes_visited += 1;
+            if node.tight.dist_sq_to_point(center) > r2 {
+                continue;
+            }
+            if node.is_leaf() {
+                for k in node.start..node.end {
+                    stats.p2p_interactions += 1;
+                    if pos[k as usize].dist_sq(center) <= r2 {
+                        count += 1;
+                    }
+                }
+            } else {
+                for &c in &node.children {
+                    if c != u32::MAX {
+                        debug_assert!(top < STACK_CAP, "traversal stack overflow");
+                        stack[top] = c;
+                        top += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Batch search: CSR neighbour lists for many query points in
+    /// parallel, built by the shared [`build_csr_lists`] pipeline (fixed
+    /// `REDUCE_CHUNK` boundaries + ordered reduce — thread-count
+    /// independent, one flat allocation per chunk instead of one `Vec`
+    /// per query). Rows come back sorted ascending. This is the shape of
+    /// the per-time-step neighbour phase (Fig. 4 phases B–D).
     pub fn batch_neighbors(
         &self,
         centers: &[Vec3],
         radii: &[f64],
-    ) -> (Vec<Vec<u32>>, TraversalStats) {
-        assert_eq!(centers.len(), radii.len());
-        // Chunked map (fixed REDUCE_CHUNK boundaries, thread-count
-        // independent): stats fold once per chunk, lists stay per query.
-        let chunks: Vec<(Vec<Vec<u32>>, TraversalStats)> = centers
-            .par_chunks(REDUCE_CHUNK)
-            .enumerate()
-            .map(|(c, chunk)| {
-                let base = c * REDUCE_CHUNK;
-                let mut stats = TraversalStats::default();
-                let lists = chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(off, &center)| {
-                        let mut out = Vec::with_capacity(96);
-                        self.neighbors_within(center, radii[base + off], &mut out, &mut stats);
-                        out
-                    })
-                    .collect();
-                (lists, stats)
-            })
-            .collect();
-        // Ordered reduce.
-        let mut merged = TraversalStats::default();
-        let mut lists = Vec::with_capacity(centers.len());
-        for (chunk_lists, stats) in chunks {
-            merged.merge(&stats);
-            lists.extend(chunk_lists);
-        }
-        (lists, merged)
+    ) -> (NeighborLists, TraversalStats) {
+        build_csr_lists(self, centers, radii)
+    }
+}
+
+impl NeighborQuery for NeighborSearch<'_> {
+    fn clamp_radius(&self, radius: f64) -> f64 {
+        NeighborSearch::clamp_radius(self, radius)
+    }
+
+    fn neighbors_within(
+        &self,
+        center: Vec3,
+        radius: f64,
+        out: &mut Vec<u32>,
+        stats: &mut TraversalStats,
+    ) {
+        NeighborSearch::neighbors_within(self, center, radius, out, stats)
+    }
+
+    fn count_within(&self, center: Vec3, radius: f64, stats: &mut TraversalStats) -> usize {
+        NeighborSearch::count_within(self, center, radius, stats)
+    }
+
+    fn neighbors_with_dist(
+        &self,
+        center: Vec3,
+        radius: f64,
+        out: &mut Vec<(u32, f64)>,
+        stats: &mut TraversalStats,
+    ) {
+        NeighborSearch::neighbors_with_dist(self, center, radius, out, stats)
     }
 }
 
@@ -287,28 +373,84 @@ mod tests {
         let centers: Vec<Vec3> = pts[..100].to_vec();
         let radii = vec![0.1; 100];
         let (lists, stats) = search.batch_neighbors(&centers, &radii);
-        assert_eq!(lists.len(), 100);
+        assert_eq!(lists.query_count(), 100);
         assert!(stats.p2p_interactions > 0);
-        for (i, list) in lists.iter().enumerate() {
-            let mut sorted = list.clone();
-            sorted.sort_unstable();
-            assert_eq!(sorted, brute_force(&pts, &per, centers[i], 0.1));
+        for (i, &center) in centers.iter().enumerate() {
+            // Rows arrive sorted ascending (the canonical CSR contract).
+            assert_eq!(lists.neighbors(i), brute_force(&pts, &per, center, 0.1));
             // Self is always a neighbour at r > 0.
-            assert!(sorted.contains(&(i as u32)));
+            assert!(lists.neighbors(i).contains(&(i as u32)));
         }
     }
 
     #[test]
-    fn count_within_matches_list_length() {
+    fn count_within_matches_list_length_open_domain() {
         let pts = random_points(500, 61);
         let tree = Octree::build(&pts, &Aabb::unit(), OctreeConfig::default());
         let search = NeighborSearch::new(&tree, Periodicity::open(Aabb::unit()));
+        let mut rng = SplitMix64::new(19);
+        for _ in 0..40 {
+            let c = Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64());
+            let r = rng.uniform(0.02, 0.4);
+            let mut stats = TraversalStats::default();
+            let n = search.count_within(c, r, &mut stats);
+            let mut out = Vec::new();
+            search.neighbors_within(c, r, &mut out, &mut stats);
+            assert_eq!(n, out.len(), "c={c:?} r={r}");
+        }
+    }
+
+    #[test]
+    fn count_within_matches_list_length_periodic() {
+        let pts = random_points(600, 67);
+        let tree = Octree::build(&pts, &Aabb::unit(), OctreeConfig::default());
+        for per in
+            [Periodicity::periodic_z(Aabb::unit()), Periodicity::fully_periodic(Aabb::unit())]
+        {
+            let search = NeighborSearch::new(&tree, per);
+            let mut rng = SplitMix64::new(71);
+            for _ in 0..40 {
+                // Face-biased centres stress the multi-image branch; radii
+                // past the half span stress the clamp branch.
+                let z = if rng.next_f64() < 0.5 {
+                    rng.uniform(0.0, 0.08)
+                } else {
+                    rng.uniform(0.08, 1.0)
+                };
+                let c = Vec3::new(rng.next_f64(), rng.next_f64(), z);
+                let r = rng.uniform(0.02, 0.7);
+                let mut list_stats = TraversalStats::default();
+                let mut out = Vec::new();
+                search.neighbors_within(c, r, &mut out, &mut list_stats);
+                let mut count_stats = TraversalStats::default();
+                let n = search.count_within(c, r, &mut count_stats);
+                assert_eq!(n, out.len(), "c={c:?} r={r}");
+                assert_eq!(count_stats.radius_clamps, list_stats.radius_clamps);
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_counter_fires_exactly_when_the_clamp_engages() {
+        let pts = random_points(200, 77);
+        let tree = Octree::build(&pts, &Aabb::unit(), OctreeConfig::default());
+        let search = NeighborSearch::new(&tree, Periodicity::periodic_z(Aabb::unit()));
         let mut stats = TraversalStats::default();
-        let c = Vec3::splat(0.4);
-        let n = search.count_within(c, 0.2, &mut stats);
         let mut out = Vec::new();
-        search.neighbors_within(c, 0.2, &mut out, &mut stats);
-        assert_eq!(n, out.len());
+        // Below half the z span: the clamp never engages.
+        search.neighbors_within(Vec3::splat(0.5), 0.49, &mut out, &mut stats);
+        assert_eq!(stats.radius_clamps, 0);
+        // Past half the span: exactly one event per clamped query.
+        out.clear();
+        search.neighbors_within(Vec3::splat(0.5), 0.6, &mut out, &mut stats);
+        assert_eq!(stats.radius_clamps, 1);
+        search.count_within(Vec3::splat(0.5), 0.6, &mut stats);
+        assert_eq!(stats.radius_clamps, 2);
+        // Open domains never clamp, whatever the radius.
+        let open = NeighborSearch::new(&tree, Periodicity::open(Aabb::unit()));
+        let mut ostats = TraversalStats::default();
+        open.count_within(Vec3::splat(0.5), 99.0, &mut ostats);
+        assert_eq!(ostats.radius_clamps, 0);
     }
 
     #[test]

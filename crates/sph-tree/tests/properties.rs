@@ -1,13 +1,14 @@
 //! Property-based tests of the tree substrate: the octree must index any
 //! particle set, the neighbour search must equal brute force, Barnes–Hut
-//! must stay within its error envelope.
+//! must stay within its error envelope, and the cell-list backend must be
+//! indistinguishable (sets *and* clamp behaviour) from both.
 
 use proptest::prelude::*;
 use sph_math::{Aabb, Periodicity, Vec3};
 use sph_tree::gravity::direct_field;
 use sph_tree::{
-    GravityConfig, GravitySolver, MultipoleOrder, NeighborSearch, Octree, OctreeConfig,
-    TraversalStats,
+    build_csr_lists, CellGrid, GravityConfig, GravitySolver, MultipoleOrder, NeighborQuery,
+    NeighborSearch, Octree, OctreeConfig, TraversalStats,
 };
 
 fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec3>> {
@@ -15,6 +16,21 @@ fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec3>> {
         (0.0..1.0_f64, 0.0..1.0_f64, 0.0..1.0_f64).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
         n,
     )
+}
+
+/// Brute-force reference: ids within the radius as clamped by the shared
+/// backend formula (half each periodic span, shaved by 1e-9 relative) —
+/// the exact accept test both backends implement.
+fn brute_force(pts: &[Vec3], per: &Periodicity, center: Vec3, r: f64) -> Vec<u32> {
+    let mut clamped = r;
+    for axis in 0..3 {
+        if per.periodic[axis] {
+            let span = per.domain.hi.component(axis) - per.domain.lo.component(axis);
+            clamped = clamped.min(0.5 * span * (1.0 - 1e-9));
+        }
+    }
+    let r2 = clamped * clamped;
+    (0..pts.len() as u32).filter(|&i| per.distance_sq(pts[i as usize], center) <= r2).collect()
 }
 
 proptest! {
@@ -120,6 +136,105 @@ proptest! {
             let rel = (bh.accel - exact.accel).norm() / exact.accel.norm().max(1e-9);
             prop_assert!(rel < 0.05, "rel accel error {rel} at particle {i}");
         }
+    }
+
+    #[test]
+    fn cell_list_equals_brute_force_and_octree(
+        pts in points(2..300),
+        q in (0.0..1.0_f64, 0.0..1.0_f64, 0.0..1.0_f64),
+        r in 0.01..0.4_f64,
+        mode in 0u8..3
+    ) {
+        let per = match mode {
+            0 => Periodicity::open(Aabb::unit()),
+            1 => Periodicity::periodic_z(Aabb::unit()),
+            _ => Periodicity::fully_periodic(Aabb::unit()),
+        };
+        let grid = CellGrid::build(&pts, per, 0.1);
+        let tree = Octree::build(
+            &pts,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 8, parallel_sort: false },
+        );
+        let search = NeighborSearch::new(&tree, per);
+        let center = Vec3::new(q.0, q.1, q.2);
+
+        let mut from_grid = Vec::new();
+        let mut gs = TraversalStats::default();
+        grid.neighbors_within(center, r, &mut from_grid, &mut gs);
+        from_grid.sort_unstable();
+
+        let mut from_tree = Vec::new();
+        let mut ts = TraversalStats::default();
+        search.neighbors_within(center, r, &mut from_tree, &mut ts);
+        from_tree.sort_unstable();
+
+        let brute = brute_force(&pts, &per, center, r);
+        prop_assert_eq!(&from_grid, &brute);
+        prop_assert_eq!(&from_tree, &brute);
+        // The clamp must engage identically on both backends.
+        prop_assert_eq!(gs.radius_clamps, ts.radius_clamps);
+        // Counting must agree with listing on both backends.
+        let mut cs = TraversalStats::default();
+        prop_assert_eq!(grid.count_within(center, r, &mut cs), brute.len());
+        prop_assert_eq!(search.count_within(center, r, &mut cs), brute.len());
+    }
+
+    #[test]
+    fn csr_lists_match_per_query_results_at_mixed_radii(
+        pts in points(4..150),
+        radii_seed in prop::collection::vec(0.01..0.5_f64, 4..150),
+        mode in 0u8..3
+    ) {
+        // Radii deliberately span well below and well above the cell edge
+        // (fixed at 0.07), so single-cell, 27-cell, and multi-ring scans
+        // are all exercised — the "h spanning multiple cell sizes" case.
+        let per = match mode {
+            0 => Periodicity::open(Aabb::unit()),
+            1 => Periodicity::periodic_z(Aabb::unit()),
+            _ => Periodicity::fully_periodic(Aabb::unit()),
+        };
+        let n = pts.len();
+        let radii: Vec<f64> = (0..n).map(|i| radii_seed[i % radii_seed.len()]).collect();
+        let grid = CellGrid::build(&pts, per, 0.07);
+        let (lists, _) = build_csr_lists(&grid, &pts, &radii);
+        prop_assert_eq!(lists.query_count(), n);
+        for i in 0..n {
+            let brute = brute_force(&pts, &per, pts[i], radii[i]);
+            prop_assert_eq!(lists.neighbors(i), &brute[..], "row {} radius {}", i, radii[i]);
+        }
+    }
+
+    #[test]
+    fn half_span_clamp_edge_is_exact(
+        pts in points(2..120),
+        q in (0.0..1.0_f64, 0.0..1.0_f64, 0.0..1.0_f64),
+        over in 0.0..0.5_f64
+    ) {
+        // Radii at and beyond the half-span must clamp to the same
+        // effective ball on both backends and must record the event.
+        let per = Periodicity::fully_periodic(Aabb::unit());
+        let grid = CellGrid::build(&pts, per, 0.11);
+        let tree = Octree::build(
+            &pts,
+            &Aabb::unit(),
+            OctreeConfig { max_leaf_size: 8, parallel_sort: false },
+        );
+        let search = NeighborSearch::new(&tree, per);
+        let center = Vec3::new(q.0, q.1, q.2);
+        let r = 0.5 + over; // always at or past the half-span of the unit box
+        let mut from_grid = Vec::new();
+        let mut gs = TraversalStats::default();
+        grid.neighbors_within(center, r, &mut from_grid, &mut gs);
+        from_grid.sort_unstable();
+        let mut from_tree = Vec::new();
+        let mut ts = TraversalStats::default();
+        search.neighbors_within(center, r, &mut from_tree, &mut ts);
+        from_tree.sort_unstable();
+        prop_assert_eq!(gs.radius_clamps, 1);
+        prop_assert_eq!(ts.radius_clamps, 1);
+        prop_assert_eq!(&from_grid, &from_tree);
+        prop_assert_eq!(&from_grid, &brute_force(&pts, &per, center, r));
     }
 
     #[test]

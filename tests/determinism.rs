@@ -7,6 +7,13 @@
 //! non-power-of-two on purpose: it exercises ragged task distribution).
 //! This property is what keeps the sph-ft conservation-drift SDC detector
 //! meaningful — a drift can only mean corruption, never scheduling noise.
+//!
+//! Every scenario below now runs through the cell-list/CSR neighbour
+//! pipeline (grid sort + CSR list build + SoA kernel passes + ping-pong
+//! update), so these fingerprints also pin the pipeline's determinism:
+//! the CSR rows are assembled per fixed chunk and spliced in order, and
+//! the grid's counting sort is sequential — nothing in the hot path
+//! depends on `SPH_THREADS` or, via the rank-count test, on `nranks`.
 
 use sph_exa_repro::core::diagnostics::Conservation;
 use sph_exa_repro::exa::{DistributedBuilder, Simulation, SimulationBuilder};

@@ -13,7 +13,7 @@ use sph_exa_repro::core::ParticleSystem;
 use sph_exa_repro::domain::{halo_sets, orb_partition, sfc_partition, HaloRadiusPolicy, SfcKind};
 use sph_exa_repro::math::{Aabb, Periodicity, SplitMix64, Vec3};
 use sph_exa_repro::scenarios::{evrard_collapse, EvrardConfig};
-use sph_exa_repro::tree::{Octree, OctreeConfig};
+use sph_exa_repro::tree::CellGrid;
 
 /// Freeze the smoothing lengths: one search at the stored h, no
 /// adaptation. Distributed SPH codes iterate h collectively *before* the
@@ -26,17 +26,16 @@ fn frozen(cfg: &SphConfig) -> SphConfig {
 
 /// Global density evaluation.
 fn global_density(sys: &mut ParticleSystem, cfg: &SphConfig) -> Vec<f64> {
-    let tree = Octree::build(
-        &sys.x,
-        &sys.bounds(),
-        OctreeConfig { max_leaf_size: 32, parallel_sort: false },
-    );
     let kernel = cfg.kernel.build();
     let active: Vec<u32> = (0..sys.len() as u32).collect();
     // Adapt h globally, then evaluate once at the frozen h — the same
-    // two-phase protocol the distributed evaluation uses.
-    compute_density(sys, &tree, kernel.as_ref(), cfg, &active);
-    compute_density(sys, &tree, kernel.as_ref(), &frozen(cfg), &active);
+    // two-phase protocol the distributed evaluation uses. The grid is
+    // rebuilt between the phases because the first pass rescales h.
+    let support = sph_exa_repro::kernels::SUPPORT_RADIUS;
+    let grid = CellGrid::build(&sys.x, sys.periodicity, support * sys.max_h());
+    compute_density(sys, &grid, kernel.as_ref(), cfg, &active);
+    let grid = CellGrid::build(&sys.x, sys.periodicity, support * sys.max_h());
+    compute_density(sys, &grid, kernel.as_ref(), &frozen(cfg), &active);
     sys.rho.clone()
 }
 
@@ -68,16 +67,13 @@ fn distributed_density(
         let mut local_ids = owned.clone();
         local_ids.extend_from_slice(&halos.imports[rank as usize]);
         let mut local = sys.subset(&local_ids);
-        let tree = Octree::build(
-            &local.x,
-            &local.bounds(),
-            OctreeConfig { max_leaf_size: 32, parallel_sort: false },
-        );
+        let support = sph_exa_repro::kernels::SUPPORT_RADIUS;
+        let grid = CellGrid::build(&local.x, local.periodicity, support * local.max_h());
         let kernel = cfg.kernel.build();
         // Only owned particles are active; ghosts provide support. h is
         // frozen (already adapted globally before the exchange).
         let active: Vec<u32> = (0..owned.len() as u32).collect();
-        compute_density(&mut local, &tree, kernel.as_ref(), &frozen(cfg), &active);
+        compute_density(&mut local, &grid, kernel.as_ref(), &frozen(cfg), &active);
         for (k, &gid) in owned.iter().enumerate() {
             rho_global[gid as usize] = local.rho[k];
         }
