@@ -12,6 +12,8 @@
 //! outlier detection, and no HTML report — the shim exists so that
 //! `cargo bench` compiles and produces usable numbers offline, not to
 //! replace criterion.
+// Benchmark harness shim: timing is the whole point.
+#![allow(clippy::disallowed_methods)]
 
 use std::fmt;
 use std::time::{Duration, Instant};

@@ -1,6 +1,11 @@
 //! Collection strategies: `prop::collection::vec` and
 //! `prop::collection::hash_set`.
 
+// This shim mirrors the real proptest API, whose `hash_set` strategy is
+// spelled in terms of std's HashSet; test-only randomness is exempt from
+// the workspace determinism contract.
+#![allow(clippy::disallowed_types)]
+
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::collections::HashSet;

@@ -437,7 +437,14 @@ impl<T: Send> EnumerateMut<'_, T> {
 /// writes a disjoint index range, which is what makes the sharing sound.
 struct SendPtr<T>(*mut T);
 
+// SAFETY: the pointer is only ever dereferenced inside `par_sort_impl`,
+// where each spawned task writes the disjoint half-open index range it was
+// handed — no two tasks alias, and the allocation outlives the scope that
+// joins them. Sending the address itself between threads is then sound.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: sharing `&SendPtr<T>` only exposes the raw address (`get`);
+// all writes through it target per-task disjoint ranges (see above), so
+// concurrent access cannot produce a data race.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {

@@ -10,6 +10,8 @@
 //! 3. Time-stepping: global vs individual block steps on the Evrard core;
 //! 4. Gradients: IAD vs kernel derivatives — linear-field accuracy;
 //! 5. Checkpointing: single-level vs multilevel under failure injection.
+// CLI surface: wall-clock progress timing only; never feeds a trajectory.
+#![allow(clippy::disallowed_methods)]
 
 use sph_bench::{build_evrard_sim, ExperimentScale};
 use sph_cluster::{

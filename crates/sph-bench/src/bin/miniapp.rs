@@ -17,6 +17,8 @@
 //!   --checkpoint-dir PATH      where to put them (default ./checkpoints)
 //!   --resume PATH              resume from a checkpoint file written earlier
 //! ```
+// CLI surface: wall-clock progress timing only; never feeds a trajectory.
+#![allow(clippy::disallowed_methods)]
 
 use sph_bench::{build_evrard_sim, build_square_sim};
 use sph_exa::Simulation;

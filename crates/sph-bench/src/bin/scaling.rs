@@ -52,7 +52,8 @@ fn run_panel(setup: &CodeSetup, scenario: Scenario, scale: ExperimentScale) {
         if setup.name == "ChaNGa" && machine.cores_per_node != 12 {
             continue;
         }
-        let rows = run_scaling_panel(setup, scenario, machine, scale);
+        let rows = run_scaling_panel(setup, scenario, machine, scale)
+            .expect("physics evolution stayed stable");
         println!("{}", render_scaling_table(machine.name, &rows));
     }
 }

@@ -17,6 +17,8 @@
 //!
 //! Exit code 1 if any scenario fails its registered tolerance (the CI
 //! gate) or diverges between drivers.
+// CLI surface: wall-clock progress timing only; never feeds a trajectory.
+#![allow(clippy::disallowed_methods)]
 
 use sph_core::diagnostics::state_fingerprint;
 use sph_scenarios::{run_scenario, DriverKind, Resolution, RunOptions, ScenarioRegistry};

@@ -45,7 +45,8 @@ fn main() {
             &core_counts,
             per_core,
             steps,
-        );
+        )
+        .expect("physics evolution stayed stable");
         println!(
             "{}",
             render_weak_scaling_table(

@@ -9,6 +9,7 @@
 
 use crate::step_model::{model_step, StepModelConfig, StepTiming, StepWorkload};
 use sph_core::config::TimeStepping;
+use sph_core::timestep::TimeStepError;
 use sph_exa::Simulation;
 use sph_math::OnlineStats;
 
@@ -53,11 +54,12 @@ pub struct ScalingRow {
 /// Evolve `sim` for `config.steps` macro steps and model every step at
 /// every core count. Returns one [`ScalingRow`] per core count plus the
 /// per-step timings (outer index = core count) for deeper analysis.
+/// Fails if the underlying physics step fails (e.g. time step collapse).
 pub fn scaling_experiment(
     sim: &mut Simulation,
     model: &StepModelConfig,
     config: &ScalingConfig,
-) -> (Vec<ScalingRow>, Vec<Vec<StepTiming>>) {
+) -> Result<(Vec<ScalingRow>, Vec<Vec<StepTiming>>), TimeStepError> {
     assert!(!config.core_counts.is_empty() && config.steps > 0);
     let n = sim.sys.len();
     let mut stats: Vec<OnlineStats> = vec![OnlineStats::new(); config.core_counts.len()];
@@ -68,7 +70,7 @@ pub fn scaling_experiment(
     let mut prev_work: Option<Vec<f64>> = None;
 
     for _ in 0..config.steps {
-        let report = sim.step().expect("stable step");
+        let report = sim.step()?;
         // Per-particle work for this step. Under individual time-stepping a
         // particle on rung r was evaluated 2^r times per macro step.
         let rung_factor: Vec<f64> = match sim.config.time_stepping {
@@ -121,7 +123,7 @@ pub fn scaling_experiment(
             particles_per_core: n as f64 / cores as f64,
         })
         .collect();
-    (rows, per_step)
+    Ok((rows, per_step))
 }
 
 /// One row of a weak-scaling experiment: cores grow with the problem so
@@ -143,13 +145,14 @@ pub struct WeakScalingRow {
 /// requested particle count; each (cores, particles) pair keeps
 /// `particles_per_core` fixed. Each point evolves its own simulation for
 /// `steps` steps (the problem itself changes size, unlike strong scaling).
+/// Fails if any physics step fails (e.g. time step collapse).
 pub fn weak_scaling_experiment(
     mut build: impl FnMut(usize) -> Simulation,
     model: &StepModelConfig,
     core_counts: &[usize],
     particles_per_core: usize,
     steps: usize,
-) -> Vec<WeakScalingRow> {
+) -> Result<Vec<WeakScalingRow>, TimeStepError> {
     assert!(!core_counts.is_empty() && steps > 0 && particles_per_core > 0);
     let mut rows = Vec::new();
     let mut base_time = None;
@@ -162,7 +165,7 @@ pub fn weak_scaling_experiment(
         let mut comm_stats = OnlineStats::new();
         let mut prev_work: Option<Vec<f64>> = None;
         for _ in 0..steps {
-            sim.step().expect("stable step");
+            sim.step()?;
             let work = sim.per_particle_work().to_vec();
             let zeros = vec![0.0; n];
             let workload = StepWorkload {
@@ -190,7 +193,7 @@ pub fn weak_scaling_experiment(
             mean_comm_fraction: comm_stats.mean(),
         });
     }
-    rows
+    Ok(rows)
 }
 
 /// Render weak-scaling rows as text.
@@ -215,9 +218,10 @@ pub fn render_weak_scaling_table(title: &str, rows: &[WeakScalingRow]) -> String
 pub fn render_scaling_table(title: &str, rows: &[ScalingRow]) -> String {
     let mut out = format!("{title}\n");
     out.push_str("  cores  time/step(s)  speedup  efficiency  LB     comm%  part/core\n");
-    let base = rows.first().map(|r| (r.cores, r.mean_step_time));
+    let Some((c0, t0)) = rows.first().map(|r| (r.cores, r.mean_step_time)) else {
+        return out;
+    };
     for r in rows {
-        let (c0, t0) = base.unwrap();
         let speedup = t0 / r.mean_step_time;
         let eff = speedup / (r.cores as f64 / c0 as f64);
         out.push_str(&format!(
@@ -284,7 +288,7 @@ mod tests {
     fn scaling_rows_show_speedup_then_saturation() {
         let mut sim = small_sim();
         let cfg = ScalingConfig { core_counts: vec![1, 4, 16, 256], steps: 2 };
-        let (rows, per_step) = scaling_experiment(&mut sim, &model(), &cfg);
+        let (rows, per_step) = scaling_experiment(&mut sim, &model(), &cfg).unwrap();
         assert_eq!(rows.len(), 4);
         assert_eq!(per_step[0].len(), 2);
         // Monotone decrease in time per step at small counts...
@@ -325,7 +329,8 @@ mod tests {
             &[2, 4, 8],
             200,
             1,
-        );
+        )
+        .unwrap();
         assert_eq!(rows.len(), 3);
         for (r, &cores) in rows.iter().zip(&[2usize, 4, 8]) {
             assert_eq!(r.cores, cores);
@@ -345,7 +350,7 @@ mod tests {
     fn render_table_contains_rows() {
         let mut sim = small_sim();
         let cfg = ScalingConfig { core_counts: vec![2, 8], steps: 1 };
-        let (rows, _) = scaling_experiment(&mut sim, &model(), &cfg);
+        let (rows, _) = scaling_experiment(&mut sim, &model(), &cfg).unwrap();
         let s = render_scaling_table("Square test", &rows);
         assert!(s.contains("Square test"));
         assert!(s.contains("speedup"));

@@ -207,7 +207,13 @@ pub fn compute_density<Q: NeighborQuery + ?Sized>(
                         let d = sys.periodicity.displacement(xi, sys.x[j]);
                         let r = d.norm();
                         let (w, dw_dh) = kernel.w_and_dw_dh(r, h);
+                        // sph-lint: allow(raw-accumulation) — FROZEN: the
+                        // per-particle kernel sum in sorted-neighbour order
+                        // is the cross-backend bit-identity contract;
+                        // compensation would change every trajectory.
                         rho += sys.m[j] * w;
+                        // sph-lint: allow(raw-accumulation) — FROZEN: same
+                        // contract as `rho` above (identical loop, order).
                         drho_dh += sys.m[j] * dw_dh;
                         interactions += 1;
                     }
@@ -234,6 +240,8 @@ pub fn compute_density<Q: NeighborQuery + ?Sized>(
     // Ordered reduce: merge chunk counters, write rows back in `active`
     // order (chunk order × row order reproduces it exactly), and splice
     // the chunk CSR fragments into the shared lists.
+    // sph-lint: allow(raw-accumulation) — integer size bookkeeping; usize
+    // addition is exact (and overflow-checked), no FP order to freeze.
     let total: usize = chunks.iter().map(|c| c.flat.len()).sum();
     assert!(total <= u32::MAX as usize, "neighbour count overflows u32 CSR offsets");
     let mut offsets = Vec::with_capacity(active.len() + 1);
@@ -248,10 +256,15 @@ pub fn compute_density<Q: NeighborQuery + ?Sized>(
         step.sph_interactions += chunk.interactions;
         step.max_search_radius = step.max_search_radius.max(chunk.max_search_radius);
         for (row, count) in chunk.rows.into_iter().zip(chunk.counts) {
+            // sph-lint: allow(panic-path) — local invariant: the chunks
+            // are a partition of `active`, so the id iterator yields
+            // exactly one id per row; exhaustion here is a code bug.
             let i = *ids.next().expect("chunk rows outnumber active ids") as usize;
             sys.h[i] = row.h;
             sys.rho[i] = row.rho;
             sys.omega[i] = if cfg.grad_h { row.omega } else { 1.0 };
+            // sph-lint: allow(raw-accumulation) — u32 CSR prefix sum;
+            // integer addition is exact, no FP order to freeze.
             running += count;
             offsets.push(running);
         }

@@ -102,6 +102,10 @@ pub fn compute_forces(
 
                         let mj = sys.m[j];
                         acc -= (g_i * alpha_i + g_j * alpha_j + g_bar * pi_ij) * mj;
+                        // sph-lint: allow(raw-accumulation) — FROZEN: the
+                        // pairwise energy-rate sum in sorted-neighbour
+                        // order is part of the bit-identity contract;
+                        // compensation would change every trajectory.
                         dudt += mj * (alpha_i * dv.dot(g_i) + 0.5 * pi_ij * dv.dot(g_bar));
                     }
                     (acc, dudt)
@@ -115,8 +119,13 @@ pub fn compute_forces(
     let mut total_pairs = 0;
     let mut ids = active.iter();
     for (rows, chunk_pairs) in chunks {
+        // sph-lint: allow(raw-accumulation) — u64 interaction counter;
+        // integer addition is exact, no FP order to freeze.
         total_pairs += chunk_pairs;
         for (acc, dudt) in rows {
+            // sph-lint: allow(panic-path) — local invariant: the chunks
+            // are a partition of `active`, so the id iterator yields
+            // exactly one id per row; exhaustion here is a code bug.
             let i = *ids.next().expect("chunk rows outnumber active ids") as usize;
             sys.a[i] = acc;
             sys.du_dt[i] = dudt;

@@ -139,6 +139,9 @@ pub fn scalar_gradient(
                         }
                         let d = sys.periodicity.displacement(xi, sys.x[j]);
                         let g = effective_gradient(scheme, kernel, ci, d, d.norm(), h);
+                        // sph-lint: allow(raw-accumulation) — FROZEN: the
+                        // per-particle gradient sum in sorted-neighbour
+                        // order is part of the bit-identity contract.
                         grad += g * (sys.vol[j] * (f[j] - f[i]));
                     }
                     grad
@@ -184,7 +187,12 @@ pub fn compute_velocity_gradients(
                         let g = effective_gradient(scheme, kernel, ci, d, d.norm(), h);
                         let dv = sys.v[j] - vi;
                         let vol = sys.vol[j];
+                        // sph-lint: allow(raw-accumulation) — FROZEN: the
+                        // divergence sum in sorted-neighbour order feeds
+                        // the Balsara switch; part of the bit contract.
                         div += vol * dv.dot(g);
+                        // sph-lint: allow(raw-accumulation) — FROZEN: same
+                        // contract as `div` above (identical loop, order).
                         curl += (dv.cross(g)) * vol;
                     }
                     (div, curl.norm())

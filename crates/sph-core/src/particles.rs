@@ -102,7 +102,14 @@ impl ParticleSystem {
     }
 
     /// Tight bounding box of current positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty system — there is no meaningful box to return.
     pub fn bounds(&self) -> Aabb {
+        // sph-lint: allow(panic-path) — documented contract: every driver
+        // rejects empty systems at build time, and a Result here would
+        // thread an unreachable error arm through all the kernel passes.
         Aabb::from_points(self.x.iter()).expect("non-empty system")
     }
 

@@ -61,6 +61,10 @@ pub fn compute_volume_elements(
                             for &j in lists.neighbors(k) {
                                 let j = j as usize;
                                 let r = sys.periodicity.distance(xi, sys.x[j]);
+                                // sph-lint: allow(raw-accumulation) — FROZEN sum:
+                                // the volume-element normalisation in
+                                // sorted-neighbour order is part of the
+                                // bit-identity contract.
                                 kappa += x_est[j] * kernel.w(r, h);
                             }
                             if kappa > 0.0 {

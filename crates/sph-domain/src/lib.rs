@@ -108,7 +108,7 @@ impl Decomposition {
     /// `max/mean` particle-count imbalance (1.0 = perfect).
     pub fn imbalance(&self) -> f64 {
         let counts = self.counts();
-        let max = *counts.iter().max().unwrap() as f64;
+        let max = counts.iter().max().copied().unwrap_or(0) as f64;
         let mean = self.assignment.len() as f64 / self.nparts as f64;
         if mean > 0.0 {
             max / mean

@@ -45,9 +45,11 @@ fn split(
         }
         return;
     }
-    // Longest axis of the current subdomain.
-    let bb = Aabb::from_points(ids.iter().map(|&i| &positions[i as usize]))
-        .expect("non-empty subdomain");
+    // Longest axis of the current subdomain. An empty subdomain (more
+    // ranks than particles) has nothing to assign.
+    let Some(bb) = Aabb::from_points(ids.iter().map(|&i| &positions[i as usize])) else {
+        return;
+    };
     let e = bb.extent();
     let axis = if e.x >= e.y && e.x >= e.z {
         0
@@ -61,6 +63,10 @@ fn split(
         positions[a as usize]
             .component(axis)
             .partial_cmp(&positions[b as usize].component(axis))
+            // sph-lint: allow(panic-path) — positions are validated finite
+            // upstream (cell_of_point / Octree::build reject NaN loudly),
+            // so partial_cmp cannot return None here; switching to
+            // total_cmp would reorder ±0.0 and change the decomposition.
             .unwrap()
             .then(a.cmp(&b)) // total order for determinism with ties
     });

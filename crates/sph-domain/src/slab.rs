@@ -34,6 +34,10 @@ pub fn slab_partition(
         positions[a as usize]
             .component(axis)
             .partial_cmp(&positions[b as usize].component(axis))
+            // sph-lint: allow(panic-path) — positions are validated finite
+            // upstream (cell_of_point / Octree::build reject NaN loudly),
+            // so partial_cmp cannot return None here; switching to
+            // total_cmp would reorder ±0.0 and change the decomposition.
             .unwrap()
             .then(a.cmp(&b)) // deterministic tie-break
     });

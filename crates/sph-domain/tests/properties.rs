@@ -23,7 +23,7 @@ proptest! {
 
     #[test]
     fn hilbert_keys_are_unique(cells in prop::collection::hash_set((0u64..32, 0u64..32, 0u64..32), 2..50)) {
-        let keys: std::collections::HashSet<u64> = cells
+        let keys: std::collections::BTreeSet<u64> = cells
             .iter()
             .map(|&(x, y, z)| hilbert::encode_cell(x, y, z, 5))
             .collect();

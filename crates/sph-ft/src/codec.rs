@@ -100,14 +100,22 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(s)
     }
+    /// Fixed-width read; the array return type makes the `from_le_bytes`
+    /// conversions below infallible, so a corrupted snapshot can only ever
+    /// surface as a typed `Err`, never an abort.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
     fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
     fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
     fn f64(&mut self) -> Result<f64, CodecError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
     fn vec3(&mut self) -> Result<Vec3, CodecError> {
         Ok(Vec3::new(self.f64()?, self.f64()?, self.f64()?))
@@ -178,7 +186,8 @@ pub fn decode(bytes: &[u8]) -> Result<ParticleSystem, CodecError> {
     }
     // Verify trailer first.
     let body = &bytes[..bytes.len() - 8];
-    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    let mut trailer = Reader::new(&bytes[bytes.len() - 8..]);
+    let stored = trailer.u64()?;
     if fnv1a(body) != stored {
         return Err(CodecError::ChecksumMismatch);
     }

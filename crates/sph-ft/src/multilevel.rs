@@ -193,7 +193,7 @@ pub fn simulate_run(
             let mut best: Option<(u64, usize)> = None;
             for (k, n) in newest.iter().enumerate() {
                 if let Some(s) = n {
-                    if best.is_none() || *s > best.unwrap().0 {
+                    if best.is_none_or(|(b, _)| *s > b) {
                         best = Some((*s, k));
                     }
                 }

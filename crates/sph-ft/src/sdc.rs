@@ -307,7 +307,7 @@ mod tests {
         // Different fields get hit across many injections.
         let mut inj = SdcInjector::new(10);
         let mut sys = sample();
-        let kinds: std::collections::HashSet<char> =
+        let kinds: std::collections::BTreeSet<char> =
             (0..40).map(|_| inj.inject(&mut sys).chars().next().unwrap()).collect();
         assert!(kinds.len() >= 3, "kinds hit: {kinds:?}");
     }

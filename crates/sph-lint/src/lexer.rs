@@ -1,0 +1,549 @@
+//! A hand-rolled, loss-tolerant Rust lexer.
+//!
+//! The rule engine only needs a token stream that is *reliable about
+//! context* — it must never mistake the contents of a string literal or a
+//! comment for code (or vice versa), because rules match on identifiers and
+//! suppressions live in comments. That forces the lexer to get the genuinely
+//! tricky Rust surface right:
+//!
+//! * raw strings `r"…"` / `r#"…"#` (any hash depth) and raw *identifiers*
+//!   `r#match`, which share a prefix,
+//! * nested block comments `/* /* … */ */`,
+//! * lifetimes `'a` vs. char literals `'a'` (and escapes `'\u{1F600}'`),
+//! * doc comments (`///`, `//!`, `/** … */`, `/*! … */`) vs. plain ones
+//!   (`////…` and `/***…` are *not* doc comments, matching rustc).
+//!
+//! Everything else is deliberately simple: keywords are plain [`Ident`]s,
+//! compound operators are single [`Punct`] tokens by maximal munch, and
+//! malformed input (unterminated literals, stray bytes) produces
+//! [`Unterminated`]/[`Unknown`] tokens instead of errors — the lexer never
+//! panics and never loses a non-whitespace byte, which the property tests
+//! assert over arbitrary input.
+//!
+//! [`Ident`]: TokenKind::Ident
+//! [`Punct`]: TokenKind::Punct
+//! [`Unterminated`]: TokenKind::Unterminated
+//! [`Unknown`]: TokenKind::Unknown
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `for`, `unsafe`, `r#match`).
+    Ident,
+    /// Lifetime or loop label: `'a`, `'static`, `'_` — no closing quote.
+    Lifetime,
+    /// Character literal `'x'`, `'\n'`, `'\u{1F600}'`, or byte `b'x'`.
+    CharLit,
+    /// String literal `"…"`, byte string `b"…"`, or C string `c"…"`.
+    StrLit,
+    /// Raw (byte/C) string `r"…"`, `r#"…"#`, `br#"…"#`, `cr"…"`.
+    RawStrLit,
+    /// Numeric literal, including prefixes/suffixes (`0xffu32`, `1.5e-3`).
+    NumLit,
+    /// Plain line comment `// …` (also `////…`).
+    LineComment,
+    /// Plain block comment `/* … */`, nesting handled.
+    BlockComment,
+    /// Doc comment: `/// …`, `//! …`, `/** … */`, `/*! … */`.
+    DocComment,
+    /// Operator or delimiter; compound operators are one token (`+=`, `::`).
+    Punct,
+    /// A literal or block comment that reached end-of-file unclosed.
+    Unterminated,
+    /// A byte the lexer has no grammar for (e.g. stray `\`); one char wide.
+    Unknown,
+}
+
+/// One token: a classified byte range of the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+    /// 1-based character (not byte) column of `start` within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The source text this token spans.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True for the comment kinds (the only trivia the lexer keeps).
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment | TokenKind::BlockComment | TokenKind::DocComment
+        )
+    }
+}
+
+/// Tokenize `src` completely. Total: every non-whitespace byte of the input
+/// is covered by exactly one token, and tokens are strictly ordered.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(ch) = cur.peek() {
+        if ch.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = cur.next_token_kind(ch);
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        out.push(Token { kind, start, end: cur.pos, line, col });
+    }
+    out
+}
+
+/// Compound operators, longest first so maximal munch works by first match.
+const COMPOUND_OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "<<", ">>", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+fn is_ident_start(ch: char) -> bool {
+    ch == '_' || ch.is_alphabetic()
+}
+
+fn is_ident_continue(ch: char) -> bool {
+    ch == '_' || ch.is_alphanumeric()
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src, pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    /// Peek the `n`-th character ahead (0 = the next one).
+    fn peek_at(&self, n: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(n)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.peek()?;
+        self.pos += ch.len_utf8();
+        if ch == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(ch)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek().is_some_and(&pred) {
+            self.bump();
+        }
+    }
+
+    /// Dispatch on the first character; consumes exactly one token.
+    fn next_token_kind(&mut self, ch: char) -> TokenKind {
+        match ch {
+            '/' if self.peek_at(1) == Some('/') => self.line_comment(),
+            '/' if self.peek_at(1) == Some('*') => self.block_comment(),
+            '\'' => self.char_or_lifetime(),
+            '"' => self.string_body(),
+            '0'..='9' => self.number(),
+            'r' | 'b' | 'c' if self.literal_prefix(ch) => self.prefixed_literal(ch),
+            _ if is_ident_start(ch) => {
+                self.eat_while(is_ident_continue);
+                TokenKind::Ident
+            }
+            _ => self.punct_or_unknown(),
+        }
+    }
+
+    /// Does `ch` at the cursor start a prefixed literal (raw string, byte
+    /// string/char, C string) rather than a plain identifier?
+    fn literal_prefix(&self, ch: char) -> bool {
+        match ch {
+            // r"…", r#"…"# (any hash depth). `r#ident` is a raw identifier.
+            'r' => self.raw_quote_after(1),
+            // b"…", b'…', br"…", br#"…"#.
+            'b' => {
+                matches!(self.peek_at(1), Some('"') | Some('\''))
+                    || (self.peek_at(1) == Some('r') && self.raw_quote_after(2))
+            }
+            // c"…", cr"…", cr#"…"#.
+            'c' => {
+                self.peek_at(1) == Some('"')
+                    || (self.peek_at(1) == Some('r') && self.raw_quote_after(2))
+            }
+            _ => false,
+        }
+    }
+
+    /// True when positions `n, n+1, …` hold zero or more `#`s then a `"`.
+    fn raw_quote_after(&self, n: usize) -> bool {
+        let mut i = n;
+        while self.peek_at(i) == Some('#') {
+            i += 1;
+        }
+        self.peek_at(i) == Some('"')
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        self.bump();
+        self.bump(); // consume `//`
+                     // `///` (but not `////`) and `//!` are doc comments, as in rustc.
+        let doc = match self.peek() {
+            Some('/') => self.peek_at(1) != Some('/'),
+            Some('!') => true,
+            _ => false,
+        };
+        self.eat_while(|c| c != '\n');
+        if doc {
+            TokenKind::DocComment
+        } else {
+            TokenKind::LineComment
+        }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump();
+        self.bump(); // consume `/*`
+                     // `/**` (but not `/***` or the empty `/**/`) and `/*!` are doc.
+        let doc = match self.peek() {
+            Some('*') => !matches!(self.peek_at(1), Some('*') | Some('/')),
+            Some('!') => true,
+            _ => false,
+        };
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.peek() {
+                None => return TokenKind::Unterminated,
+                Some('/') if self.peek_at(1) == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                Some('*') if self.peek_at(1) == Some('/') => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+        if doc {
+            TokenKind::DocComment
+        } else {
+            TokenKind::BlockComment
+        }
+    }
+
+    /// After a leading `'`: decide lifetime vs. char literal.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.bump(); // consume `'`
+        match self.peek() {
+            // Escape sequence ⇒ definitely a char literal; scan to the
+            // closing quote (escapes like `\u{1F600}` never contain `'`).
+            Some('\\') => {
+                self.bump();
+                self.bump(); // the escaped character itself
+                self.eat_while(|c| c != '\'' && c != '\n');
+                match self.peek() {
+                    Some('\'') => {
+                        self.bump();
+                        TokenKind::CharLit
+                    }
+                    _ => TokenKind::Unterminated,
+                }
+            }
+            // `''` — not valid Rust, but tolerate as a degenerate char.
+            Some('\'') => {
+                self.bump();
+                TokenKind::CharLit
+            }
+            // `'a…`: identifier characters. `'a'` closes ⇒ char literal;
+            // otherwise it is a lifetime/label (`'a`, `'static`, `'_`).
+            Some(c) if is_ident_start(c) => {
+                self.eat_while(is_ident_continue);
+                if self.peek() == Some('\'') {
+                    self.bump();
+                    TokenKind::CharLit
+                } else {
+                    TokenKind::Lifetime
+                }
+            }
+            // `'3'`, `'+'`, … — one arbitrary char then a closing quote.
+            Some(_) => {
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                    TokenKind::CharLit
+                } else {
+                    TokenKind::Unknown
+                }
+            }
+            None => TokenKind::Unknown,
+        }
+    }
+
+    /// Cooked string body starting at `"`; handles `\"` and `\\`.
+    fn string_body(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        loop {
+            match self.peek() {
+                None => return TokenKind::Unterminated,
+                Some('\\') => {
+                    self.bump();
+                    if self.bump().is_none() {
+                        return TokenKind::Unterminated;
+                    }
+                }
+                Some('"') => {
+                    self.bump();
+                    return TokenKind::StrLit;
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Literal with an `r`/`b`/`c` prefix; `literal_prefix` vouched for it.
+    fn prefixed_literal(&mut self, first: char) -> TokenKind {
+        self.bump(); // the prefix letter
+        match first {
+            'b' if self.peek() == Some('\'') => self.char_or_lifetime(),
+            'b' | 'c' if self.peek() == Some('r') => {
+                self.bump();
+                self.raw_string_body()
+            }
+            'r' => self.raw_string_body(),
+            _ => self.string_body(), // b"…" / c"…"
+        }
+    }
+
+    /// Raw string after the prefix letters: `#`* `"` … `"` `#`*.
+    fn raw_string_body(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // the opening quote (guaranteed by literal_prefix)
+        loop {
+            match self.peek() {
+                None => return TokenKind::Unterminated,
+                Some('"') => {
+                    self.bump();
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek() == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        return TokenKind::RawStrLit;
+                    }
+                    // Not the terminator (too few hashes) — keep scanning.
+                }
+                Some(_) => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        if self.peek() == Some('0') && matches!(self.peek_at(1), Some('x') | Some('o') | Some('b'))
+        {
+            self.bump();
+            self.bump();
+            self.eat_while(|c| c.is_ascii_hexdigit() || c == '_');
+        } else {
+            self.eat_while(|c| c.is_ascii_digit() || c == '_');
+            // Fractional part: `1.5`, and trailing-dot floats `1.` — but not
+            // `1..n` (range) and not `1.method()` (field/method access).
+            if self.peek() == Some('.') {
+                match self.peek_at(1) {
+                    Some(c) if c.is_ascii_digit() => {
+                        self.bump();
+                        self.eat_while(|c| c.is_ascii_digit() || c == '_');
+                    }
+                    Some(c) if c != '.' && !is_ident_start(c) => {
+                        self.bump();
+                    }
+                    None => {
+                        self.bump();
+                    }
+                    _ => {}
+                }
+            }
+            // Exponent: `1e5`, `1e-5`; only if an actual exponent follows,
+            // so `1e` alone falls through to suffix consumption.
+            if matches!(self.peek(), Some('e') | Some('E')) {
+                let after_sign = match self.peek_at(1) {
+                    Some('+') | Some('-') => 2,
+                    _ => 1,
+                };
+                if self.peek_at(after_sign).is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump(); // e
+                    if after_sign == 2 {
+                        self.bump(); // sign
+                    }
+                    self.eat_while(|c| c.is_ascii_digit() || c == '_');
+                }
+            }
+        }
+        // Type suffix (`u32`, `f64`, `usize`): any trailing ident chars.
+        self.eat_while(is_ident_continue);
+        TokenKind::NumLit
+    }
+
+    fn punct_or_unknown(&mut self) -> TokenKind {
+        let rest = &self.src[self.pos..];
+        for op in COMPOUND_OPS {
+            if rest.starts_with(op) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                return TokenKind::Punct;
+            }
+        }
+        let ch = self.bump();
+        match ch {
+            Some(c) if "+-*/%^&|!<>=.,;:#$?@~()[]{}".contains(c) => TokenKind::Punct,
+            _ => TokenKind::Unknown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_raw_idents() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("fn r#match unsafe _x αβ"),
+            vec![
+                (Ident, "fn"),
+                (Ident, "r"),
+                (Punct, "#"),
+                (Ident, "match"),
+                (Ident, "unsafe"),
+                (Ident, "_x"),
+                (Ident, "αβ"),
+            ]
+        );
+    }
+
+    #[test]
+    fn compound_operators_are_single_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a += b; c <<= 2; x..=y"),
+            vec![
+                (Ident, "a"),
+                (Punct, "+="),
+                (Ident, "b"),
+                (Punct, ";"),
+                (Ident, "c"),
+                (Punct, "<<="),
+                (NumLit, "2"),
+                (Punct, ";"),
+                (Ident, "x"),
+                (Punct, "..="),
+                (Ident, "y"),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("0xff_u32 1_000 1.5e-3 1. 0b1010 2usize"),
+            vec![
+                (NumLit, "0xff_u32"),
+                (NumLit, "1_000"),
+                (NumLit, "1.5e-3"),
+                (NumLit, "1."),
+                (NumLit, "0b1010"),
+                (NumLit, "2usize"),
+            ]
+        );
+        // `1..n` is a range, not a float followed by garbage.
+        assert_eq!(kinds("0..n"), vec![(NumLit, "0"), (Punct, ".."), (Ident, "n")]);
+        // `1.max(2.0)` is a method call on an integer literal.
+        assert_eq!(kinds("1.max")[0], (NumLit, "1"));
+    }
+
+    #[test]
+    fn spans_carry_lines_and_cols() {
+        let src = "ab\n  cd";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!(toks[1].text(src), "cd");
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r#"let s = "a \" b"; x"#),
+            vec![
+                (Ident, "let"),
+                (Ident, "s"),
+                (Punct, "="),
+                (StrLit, r#""a \" b""#),
+                (Punct, ";"),
+                (Ident, "x"),
+            ]
+        );
+        assert_eq!(kinds(r#"b"bytes" c"cstr""#)[0].0, StrLit);
+    }
+
+    #[test]
+    fn code_inside_string_is_not_code() {
+        let src = r#"let s = "x.unwrap() /* not a comment */ // nope";"#;
+        let toks = lex(src);
+        assert!(toks.iter().all(|t| !t.is_comment()));
+        assert!(!toks.iter().any(|t| t.kind == TokenKind::Ident && t.text(src) == "unwrap"));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "r#\"abc", "/* /* nested", "'\\u{12", "b\"", "r###\"x\"##"] {
+            let toks = lex(src);
+            assert_eq!(toks.last().map(|t| t.kind), Some(TokenKind::Unterminated), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn stray_bytes_are_unknown_not_fatal() {
+        let src = "a \\ b";
+        let toks = lex(src);
+        assert_eq!(toks[1].kind, TokenKind::Unknown);
+        assert_eq!(toks.len(), 3);
+    }
+}

@@ -1,0 +1,566 @@
+//! The rule engine: matches the determinism & hot-path contracts against a
+//! token stream and resolves inline suppressions.
+//!
+//! # Rule catalogue
+//!
+//! | id | slug                  | contract it enforces |
+//! |----|-----------------------|----------------------|
+//! | R1 | `hash-container`      | no `HashMap`/`HashSet` in sph code — iteration order is nondeterministic; use `BTreeMap`/`BTreeSet` or a sorted `Vec` |
+//! | R2 | `raw-accumulation`    | no bare `+=`/`.sum()` accumulation loops in the hot-path crates (sph-core, sph-math, sph-tree) — route through `KahanAccumulator` or the fixed-chunk ordered-reduce helpers |
+//! | R3 | `panic-path`          | no `unwrap()`/`expect()`/`panic!` in library code paths — return typed `Result`s |
+//! | R4 | `undocumented-unsafe` | every `unsafe` needs an adjacent `// SAFETY:` comment (or a `# Safety` doc section) |
+//! | R5 | `wall-clock`          | no `Instant::now`/`SystemTime::now`/`thread::spawn` outside the rayon shim and sph-profiler — wall-clock reads in compute passes break replay determinism |
+//!
+//! Two meta rules police the suppression mechanism itself and cannot be
+//! suppressed: S1 `unjustified-suppression` (an `allow` without a written
+//! justification, or naming an unknown rule) and S2 `unused-suppression`
+//! (an `allow` that matched no diagnostic on its line).
+//!
+//! # Suppressions
+//!
+//! ```text
+//! // sph-lint: allow(rule-slug[, rule-slug…]) — <mandatory justification>
+//! ```
+//!
+//! A trailing comment suppresses its own line; a comment alone on a line
+//! suppresses the next line of code. The justification (after `—`, `-`, or
+//! `:`) must be at least [`MIN_JUSTIFICATION`] characters of prose.
+//!
+//! # Contexts
+//!
+//! `#[cfg(test)]` modules and `#[test]` functions are exempt from all
+//! rules. Binaries (`src/bin/`, `src/main.rs`) are CLI surface, not library
+//! paths: only R1 and R4 apply. Shim crates mirror external crates'
+//! internals and only answer for R4.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Minimum length of the prose justification a suppression must carry.
+pub const MIN_JUSTIFICATION: usize = 10;
+
+/// Crates whose accumulation loops are hot-path (rule R2).
+pub const HOT_PATH_CRATES: &[&str] = &["sph-core", "sph-math", "sph-tree"];
+
+/// Crates allowed to read the wall clock (rule R5). The shims are exempt
+/// wholesale via [`FileContext::is_shim`]; this lists first-party crates.
+pub const WALL_CLOCK_CRATES: &[&str] = &["sph-profiler"];
+
+/// The enforced rules. `S1`/`S2` police the suppression mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// R1: `HashMap`/`HashSet` — nondeterministic iteration order.
+    HashContainer,
+    /// R2: bare `+=`/`.sum()` accumulation in hot-path loops.
+    RawAccumulation,
+    /// R3: `unwrap()`/`expect()`/`panic!` in library code paths.
+    PanicPath,
+    /// R4: `unsafe` without an adjacent `// SAFETY:` justification.
+    UndocumentedUnsafe,
+    /// R5: wall-clock reads / thread spawns outside the sanctioned crates.
+    WallClock,
+    /// S1: suppression without a written justification (or unknown rule).
+    UnjustifiedSuppression,
+    /// S2: suppression that matched no diagnostic.
+    UnusedSuppression,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 5] = [
+        Rule::HashContainer,
+        Rule::RawAccumulation,
+        Rule::PanicPath,
+        Rule::UndocumentedUnsafe,
+        Rule::WallClock,
+    ];
+
+    /// Short id (`R1`…`R5`, `S1`/`S2`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::HashContainer => "R1",
+            Rule::RawAccumulation => "R2",
+            Rule::PanicPath => "R3",
+            Rule::UndocumentedUnsafe => "R4",
+            Rule::WallClock => "R5",
+            Rule::UnjustifiedSuppression => "S1",
+            Rule::UnusedSuppression => "S2",
+        }
+    }
+
+    /// The slug used in `sph-lint: allow(…)` comments.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::HashContainer => "hash-container",
+            Rule::RawAccumulation => "raw-accumulation",
+            Rule::PanicPath => "panic-path",
+            Rule::UndocumentedUnsafe => "undocumented-unsafe",
+            Rule::WallClock => "wall-clock",
+            Rule::UnjustifiedSuppression => "unjustified-suppression",
+            Rule::UnusedSuppression => "unused-suppression",
+        }
+    }
+
+    /// Parse a slug from a suppression comment. Meta rules cannot be
+    /// suppressed, so they are not recognised here.
+    pub fn from_slug(slug: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.slug() == slug)
+    }
+
+    /// One-line description for `--list-rules` and the README catalogue.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::HashContainer => {
+                "HashMap/HashSet iteration order is nondeterministic; \
+                 use BTreeMap/BTreeSet or a sorted Vec"
+            }
+            Rule::RawAccumulation => {
+                "bare floating-point accumulation in a hot-path loop; route through \
+                 KahanAccumulator or the fixed-chunk ordered-reduce helpers"
+            }
+            Rule::PanicPath => {
+                "unwrap()/expect()/panic! in a library code path; return a typed Result"
+            }
+            Rule::UndocumentedUnsafe => {
+                "unsafe without an adjacent // SAFETY: comment (or # Safety doc section)"
+            }
+            Rule::WallClock => {
+                "wall-clock read or thread spawn outside the rayon shim / sph-profiler; \
+                 nondeterministic inputs break replay determinism"
+            }
+            Rule::UnjustifiedSuppression => "sph-lint suppression without a written justification",
+            Rule::UnusedSuppression => "sph-lint suppression that matched no diagnostic",
+        }
+    }
+}
+
+/// Where a file sits in the workspace; decides which rules apply.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Crate directory name (`sph-core`, …); `shims/rayon` for shims.
+    pub crate_name: String,
+    /// Under `src/bin/` or named `main.rs`: CLI surface, not library path.
+    pub is_binary: bool,
+    /// Under `crates/shims/`: mirrors an external crate's internals.
+    pub is_shim: bool,
+}
+
+impl FileContext {
+    fn applies(&self, rule: Rule) -> bool {
+        if self.is_shim {
+            return rule == Rule::UndocumentedUnsafe;
+        }
+        match rule {
+            Rule::HashContainer | Rule::UndocumentedUnsafe => true,
+            Rule::RawAccumulation => {
+                !self.is_binary && HOT_PATH_CRATES.contains(&self.crate_name.as_str())
+            }
+            Rule::PanicPath => !self.is_binary,
+            Rule::WallClock => {
+                !self.is_binary && !WALL_CLOCK_CRATES.contains(&self.crate_name.as_str())
+            }
+            Rule::UnjustifiedSuppression | Rule::UnusedSuppression => true,
+        }
+    }
+}
+
+/// One finding, positioned in a file.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// An `sph-lint: allow(…)` parsed out of a comment.
+#[derive(Debug)]
+struct Suppression {
+    rules: Vec<Rule>,
+    /// Slugs that named no known rule (reported as S1).
+    unknown: Vec<String>,
+    /// Line the comment starts on (for S1/S2 positioning).
+    comment_line: u32,
+    /// Line of code this suppression covers.
+    covers_line: u32,
+    justified: bool,
+    used: bool,
+}
+
+/// Lint one tokenized file. `src` is only used to slice token text.
+pub fn lint_tokens(src: &str, tokens: &[Token], ctx: &FileContext) -> Vec<Diagnostic> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let test_ranges = test_item_ranges(src, &code);
+    let in_test = |tok: &Token| test_ranges.iter().any(|r| r.contains(&tok.start));
+
+    let mut suppressions = collect_suppressions(src, tokens, &in_test);
+    let mut out = Vec::new();
+
+    for v in find_violations(src, &code, ctx) {
+        let tok = code[v.token_idx];
+        if in_test(tok) {
+            continue;
+        }
+        // R4 is satisfied by evidence, not only by suppression: a
+        // `// SAFETY:` comment adjacent to the `unsafe`, or a `# Safety`
+        // doc section on the function it belongs to.
+        if v.rule == Rule::UndocumentedUnsafe && has_safety_evidence(src, tokens, tok.line) {
+            continue;
+        }
+        let suppressed = suppressions
+            .iter_mut()
+            .find(|s| s.covers_line == tok.line && s.rules.contains(&v.rule));
+        match suppressed {
+            Some(s) => s.used = true,
+            None => out.push(Diagnostic {
+                rule: v.rule,
+                line: tok.line,
+                col: tok.col,
+                message: v.message,
+            }),
+        }
+    }
+
+    for s in &suppressions {
+        if !s.justified {
+            out.push(Diagnostic {
+                rule: Rule::UnjustifiedSuppression,
+                line: s.comment_line,
+                col: 1,
+                message: "suppression needs a written justification: \
+                          `// sph-lint: allow(rule) — <why this is sound>`"
+                    .to_string(),
+            });
+        }
+        for slug in &s.unknown {
+            out.push(Diagnostic {
+                rule: Rule::UnjustifiedSuppression,
+                line: s.comment_line,
+                col: 1,
+                message: format!("suppression names unknown rule `{slug}`"),
+            });
+        }
+        if s.justified && s.unknown.is_empty() && !s.used {
+            out.push(Diagnostic {
+                rule: Rule::UnusedSuppression,
+                line: s.comment_line,
+                col: 1,
+                message: "suppression matched no diagnostic on its line; remove it".to_string(),
+            });
+        }
+    }
+
+    out.sort_by_key(|d| (d.line, d.col, d.rule));
+    out
+}
+
+struct Violation {
+    rule: Rule,
+    token_idx: usize,
+    message: String,
+}
+
+/// Byte ranges of `#[cfg(test)]` / `#[test]` items (body plus attribute).
+fn test_item_ranges(src: &str, code: &[&Token]) -> Vec<std::ops::Range<usize>> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if is_test_attribute(src, code, i) {
+            let start = code[i].start;
+            // Skip this attribute and any further ones on the same item.
+            let mut j = skip_attribute(src, code, i);
+            while j < code.len() && code[j].text(src) == "#" {
+                j = skip_attribute(src, code, j);
+            }
+            // The item ends at the matching `}` of its first block, or at a
+            // `;` before any block opens (e.g. `#[cfg(test)] use …;`).
+            let mut depth = 0usize;
+            while j < code.len() {
+                match code[j].text(src) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let end = if j < code.len() { code[j].end } else { src.len() };
+            ranges.push(start..end);
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+/// Does `#` at `code[i]` open `#[cfg(test)]` or `#[test]`?
+fn is_test_attribute(src: &str, code: &[&Token], i: usize) -> bool {
+    let text = |k: usize| code.get(k).map(|t| t.text(src)).unwrap_or("");
+    text(i) == "#"
+        && text(i + 1) == "["
+        && ((text(i + 2) == "test" && text(i + 3) == "]")
+            || (text(i + 2) == "cfg"
+                && text(i + 3) == "("
+                && text(i + 4) == "test"
+                && text(i + 5) == ")"))
+}
+
+/// Given `code[i] == "#"` starting an attribute, return the index just past
+/// its closing `]` (bracket-depth aware, so `#[cfg(any(test, foo))]` works).
+fn skip_attribute(src: &str, code: &[&Token], i: usize) -> usize {
+    if code.get(i + 1).map(|t| t.text(src)) != Some("[") {
+        return i + 1;
+    }
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < code.len() {
+        match code[j].text(src) {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Is there a SAFETY justification near line `line` (where `unsafe` sits)?
+///
+/// Accepted evidence: a comment containing `SAFETY:` starting at most
+/// 6 lines above (multi-line justifications keep the marker on top) or
+/// trailing on the same line, or a doc-comment line containing `# Safety`
+/// at most 12 lines above (doc sections attach to the `unsafe fn` they
+/// document, with the prose in between).
+fn has_safety_evidence(src: &str, tokens: &[Token], line: u32) -> bool {
+    tokens.iter().any(|t| {
+        if !t.is_comment() || t.line > line {
+            return false;
+        }
+        let text = t.text(src);
+        let dist = line - t.line;
+        (dist <= 6 && text.contains("SAFETY:"))
+            || (dist <= 12 && t.kind == TokenKind::DocComment && text.contains("# Safety"))
+    })
+}
+
+fn collect_suppressions(
+    src: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(&Token) -> bool,
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (idx, tok) in tokens.iter().enumerate() {
+        // Suppressions live in plain comments only: doc comments are
+        // documentation (they may *describe* the syntax, as this crate's
+        // own rustdoc does) and never suppress anything.
+        if !tok.is_comment() || tok.kind == TokenKind::DocComment {
+            continue;
+        }
+        let Some(parsed) = parse_suppression(tok.text(src)) else { continue };
+        // A trailing comment covers its own line; a standalone comment
+        // covers the next code line.
+        let standalone = idx == 0 || tokens[idx - 1].line < tok.line;
+        let covers_line = if standalone {
+            tokens[idx + 1..].iter().find(|t| !t.is_comment()).map(|t| t.line).unwrap_or(tok.line)
+        } else {
+            tok.line
+        };
+        // Suppressions inside test items are dead weight; ignore them.
+        if in_test(tok) {
+            continue;
+        }
+        out.push(Suppression {
+            rules: parsed.0,
+            unknown: parsed.1,
+            comment_line: tok.line,
+            covers_line,
+            justified: parsed.2,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Parse `sph-lint: allow(a, b) — justification` from a comment's text.
+/// Returns `(known rules, unknown slugs, justified)`.
+fn parse_suppression(comment: &str) -> Option<(Vec<Rule>, Vec<String>, bool)> {
+    let marker = "sph-lint:";
+    let rest = comment[comment.find(marker)? + marker.len()..].trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let (list, mut tail) = (&rest[..close], &rest[close + 1..]);
+
+    let mut rules = Vec::new();
+    let mut unknown = Vec::new();
+    for slug in list.split(',') {
+        let slug = slug.trim();
+        if slug.is_empty() {
+            continue;
+        }
+        match Rule::from_slug(slug) {
+            Some(r) => rules.push(r),
+            None => unknown.push(slug.to_string()),
+        }
+    }
+
+    // Justification: strip separators, then demand real prose.
+    tail = tail.trim_start();
+    for sep in ["—", "--", "-", ":", ";"] {
+        if let Some(stripped) = tail.strip_prefix(sep) {
+            tail = stripped;
+            break;
+        }
+    }
+    let just = tail.trim().trim_end_matches("*/").trim();
+    Some((rules, unknown, just.chars().count() >= MIN_JUSTIFICATION))
+}
+
+/// Run the R1–R5 matchers over the code tokens.
+fn find_violations(src: &str, code: &[&Token], ctx: &FileContext) -> Vec<Violation> {
+    let text = |k: usize| code.get(k).map(|t| t.text(src)).unwrap_or("");
+    let is_ident = |k: usize| code.get(k).is_some_and(|t| t.kind == TokenKind::Ident);
+    let mut out = Vec::new();
+
+    // Loop-body tracking for R2: which brace scopes belong to a
+    // `for`/`while`/`loop` body.
+    let mut brace_is_loop: Vec<bool> = Vec::new();
+    let mut loop_depth = 0usize;
+    let mut pending_loop_kw = false;
+
+    for i in 0..code.len() {
+        let t = code[i];
+        let tt = t.text(src);
+
+        match tt {
+            "for" | "while" | "loop" if t.kind == TokenKind::Ident => pending_loop_kw = true,
+            "{" => {
+                brace_is_loop.push(pending_loop_kw);
+                if pending_loop_kw {
+                    loop_depth += 1;
+                }
+                pending_loop_kw = false;
+            }
+            "}" if brace_is_loop.pop() == Some(true) => loop_depth -= 1,
+            _ => {}
+        }
+
+        // R1: HashMap / HashSet by name.
+        if ctx.applies(Rule::HashContainer)
+            && t.kind == TokenKind::Ident
+            && (tt == "HashMap" || tt == "HashSet")
+        {
+            out.push(Violation {
+                rule: Rule::HashContainer,
+                token_idx: i,
+                message: format!(
+                    "`{tt}` iterates in nondeterministic order; use BTreeMap/BTreeSet or a \
+                     sorted Vec"
+                ),
+            });
+        }
+
+        // R2a: statement-level `acc += expr;` inside a loop body, where
+        // `acc` is a bare local and the RHS is not the literal `1`
+        // (integer counters are idiomatic and order-independent).
+        if ctx.applies(Rule::RawAccumulation)
+            && loop_depth > 0
+            && t.kind == TokenKind::Ident
+            && text(i + 1) == "+="
+            && (i == 0 || matches!(text(i.wrapping_sub(1)), ";" | "{" | "}"))
+            && !(code.get(i + 2).is_some_and(|t| t.kind == TokenKind::NumLit)
+                && text(i + 2) == "1"
+                && text(i + 3) == ";")
+        {
+            out.push(Violation {
+                rule: Rule::RawAccumulation,
+                token_idx: i,
+                message: format!(
+                    "bare `{tt} += …` accumulation in a hot-path loop; use KahanAccumulator or \
+                     the fixed-chunk ordered-reduce helpers (or justify why the order is frozen)"
+                ),
+            });
+        }
+
+        // R2b: iterator `.sum()` / `.sum::<f64>()`.
+        if ctx.applies(Rule::RawAccumulation)
+            && tt == "."
+            && text(i + 1) == "sum"
+            && is_ident(i + 1)
+            && matches!(text(i + 2), "(" | "::")
+        {
+            out.push(Violation {
+                rule: Rule::RawAccumulation,
+                token_idx: i + 1,
+                message: "iterator `.sum()` has no compensation and hides the reduction \
+                          order; use KahanAccumulator or the ordered-reduce helpers"
+                    .to_string(),
+            });
+        }
+
+        // R3: `.unwrap()` / `.expect(` / `panic!`.
+        if ctx.applies(Rule::PanicPath) {
+            if tt == "." && matches!(text(i + 1), "unwrap" | "expect") && text(i + 2) == "(" {
+                out.push(Violation {
+                    rule: Rule::PanicPath,
+                    token_idx: i + 1,
+                    message: format!(
+                        "`.{}()` aborts the process on the error path; return a typed Result \
+                         (or justify why the invariant is local and checked)",
+                        text(i + 1)
+                    ),
+                });
+            }
+            if t.kind == TokenKind::Ident && tt == "panic" && text(i + 1) == "!" {
+                out.push(Violation {
+                    rule: Rule::PanicPath,
+                    token_idx: i,
+                    message: "`panic!` in a library code path; return a typed Result".to_string(),
+                });
+            }
+        }
+
+        // R4: `unsafe` without adjacent SAFETY justification.
+        if ctx.applies(Rule::UndocumentedUnsafe) && t.kind == TokenKind::Ident && tt == "unsafe" {
+            // `unsafe` inside a trait bound position (`unsafe fn` pointer
+            // types etc.) still deserves the comment; no exceptions.
+            out.push(Violation {
+                rule: Rule::UndocumentedUnsafe,
+                token_idx: i,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment stating the \
+                          invariants that make it sound"
+                    .to_string(),
+            });
+        }
+
+        // R5: wall-clock reads and ad-hoc threads.
+        if ctx.applies(Rule::WallClock) && t.kind == TokenKind::Ident {
+            let pat = match (tt, text(i + 1), text(i + 2)) {
+                ("Instant", "::", "now") => Some("Instant::now"),
+                ("SystemTime", "::", "now") => Some("SystemTime::now"),
+                ("thread", "::", "spawn") => Some("thread::spawn"),
+                _ => None,
+            };
+            if let Some(p) = pat {
+                out.push(Violation {
+                    rule: Rule::WallClock,
+                    token_idx: i,
+                    message: format!(
+                        "`{p}` outside the rayon shim / sph-profiler; wall-clock inputs in \
+                         compute passes break replay determinism"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

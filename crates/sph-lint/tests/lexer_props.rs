@@ -1,0 +1,142 @@
+//! Property tests of the hand-rolled lexer: whatever bytes come in, the
+//! lexer must not panic, must emit in-bounds char-aligned spans in strictly
+//! increasing source order, and must account for every non-whitespace byte.
+
+use proptest::prelude::*;
+use sph_lint::lexer::{lex, Token};
+
+/// Shared span invariants checked by every property below.
+fn check_spans(src: &str, tokens: &[Token]) {
+    let mut prev_end = 0usize;
+    for t in tokens {
+        assert!(t.start <= t.end, "inverted span {}..{}", t.start, t.end);
+        assert!(t.end <= src.len(), "span {}..{} out of bounds", t.start, t.end);
+        assert!(src.is_char_boundary(t.start), "start {} not a char boundary", t.start);
+        assert!(src.is_char_boundary(t.end), "end {} not a char boundary", t.end);
+        assert!(t.start >= prev_end, "overlapping spans at {}", t.start);
+        // The text accessor must agree with the raw slice.
+        assert_eq!(t.text(src), &src[t.start..t.end]);
+        assert!(t.line >= 1, "lines are 1-based");
+        assert!(t.col >= 1, "columns are 1-based");
+        prev_end = t.end;
+    }
+}
+
+/// Bytes not covered by any token must be whitespace (the only thing the
+/// lexer is allowed to skip).
+fn check_coverage(src: &str, tokens: &[Token]) {
+    let mut covered = vec![false; src.len()];
+    for t in tokens {
+        for c in covered.iter_mut().take(t.end).skip(t.start) {
+            *c = true;
+        }
+    }
+    for (i, ch) in src.char_indices() {
+        if !covered[i] {
+            assert!(
+                ch.is_whitespace(),
+                "uncovered non-whitespace byte {ch:?} at offset {i} in {src:?}"
+            );
+        }
+    }
+}
+
+/// Rust-flavoured fragments: realistic neighbours for the tricky cases
+/// (raw strings, lifetimes, doc comments, nested block comments).
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "let",
+    "mut",
+    "x",
+    "HashMap",
+    "unwrap",
+    "'a",
+    "'a'",
+    "'\\n'",
+    "\"str\"",
+    "\"esc\\\"aped\"",
+    "r\"raw\"",
+    "r#\"raw # quote\"#",
+    "0",
+    "1.5",
+    "1e-3",
+    "0x_ff",
+    "0..n",
+    "1.max",
+    "+=",
+    "::",
+    "->",
+    "=>",
+    "..=",
+    "//",
+    "// line comment\n",
+    "/// doc\n",
+    "//// not doc\n",
+    "/* block */",
+    "/* nested /* deeper */ out */",
+    "/**/",
+    "/*** plain */",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    "#",
+    "!",
+    "r#ident",
+    "b'x'",
+    "b\"bytes\"",
+    "\n",
+    " ",
+    "\t",
+    "\u{3bb}",
+    "𝕏",
+    "é",
+    "\"unterminated",
+    "/* unterminated",
+    "r#\"unterminated",
+    "'",
+];
+
+fn fragment_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..FRAGMENTS.len(), 0..40)
+        .prop_map(|picks| picks.into_iter().map(|i| FRAGMENTS[i]).collect::<String>())
+}
+
+fn byte_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..120)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_bytes_never_panic(src in byte_soup()) {
+        let tokens = lex(&src);
+        check_spans(&src, &tokens);
+        check_coverage(&src, &tokens);
+    }
+
+    #[test]
+    fn fragment_soup_never_panics(src in fragment_soup()) {
+        let tokens = lex(&src);
+        check_spans(&src, &tokens);
+        check_coverage(&src, &tokens);
+    }
+
+    #[test]
+    fn line_col_are_monotone(src in fragment_soup()) {
+        let tokens = lex(&src);
+        let mut prev = (1u32, 0u32);
+        for t in &tokens {
+            let pos = (t.line, t.col);
+            assert!(
+                t.line > prev.0 || (t.line == prev.0 && t.col > prev.1),
+                "positions went backwards: {prev:?} then {pos:?} in {src:?}"
+            );
+            prev = pos;
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Tier-1 gate: the real workspace must lint clean. Every diagnostic is
+//! either fixed or carries a justified inline suppression, so any failure
+//! here is a newly introduced contract violation.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unsuppressed_diagnostics() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives at <root>/crates/sph-lint");
+    let diags = sph_lint::lint_workspace(root).expect("workspace walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "sph-lint found {} unsuppressed diagnostic(s):\n{}",
+        diags.len(),
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

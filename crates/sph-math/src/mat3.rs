@@ -152,6 +152,9 @@ impl Mat3 {
         let mut s = 0.0;
         for r in 0..3 {
             for c in 0..3 {
+                // sph-lint: allow(raw-accumulation) — fixed 9-term sum in
+                // a frozen FP stream; compensation would perturb the IAD
+                // conditioning heuristics bit-for-bit.
                 s += self.m[r][c] * self.m[r][c];
             }
         }
@@ -228,6 +231,9 @@ impl Mul<Mat3> for Mat3 {
             for c in 0..3 {
                 let mut s = 0.0;
                 for k in 0..3 {
+                    // sph-lint: allow(raw-accumulation) — fixed 3-term dot
+                    // product; part of the frozen FP stream of the IAD
+                    // matrix algebra (bit-identity contract).
                     s += self.m[r][k] * o.m[k][c];
                 }
                 out.m[r][c] = s;

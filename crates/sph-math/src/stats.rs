@@ -113,13 +113,15 @@ pub struct Summary {
 /// gradients, gravity vs direct summation).
 pub fn relative_l2_error(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "relative_l2_error: length mismatch");
-    let mut num = 0.0;
-    let mut den = 0.0;
+    // Validation-only path (never feeds a trajectory), so it gets the
+    // compensated accumulator rather than a frozen-order suppression.
+    let mut num = crate::KahanAccumulator::new();
+    let mut den = crate::KahanAccumulator::new();
     for (&x, &y) in a.iter().zip(b) {
-        num += (x - y) * (x - y);
-        den += y * y;
+        num.add((x - y) * (x - y));
+        den.add(y * y);
     }
-    (num / den.max(1e-300)).sqrt()
+    (num.total() / den.total().max(1e-300)).sqrt()
 }
 
 #[cfg(test)]

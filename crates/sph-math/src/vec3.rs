@@ -125,23 +125,35 @@ impl Vec3 {
     }
 
     /// Access by axis index (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `axis > 2`, mirroring the slice-indexing contract.
     #[inline]
     pub fn component(self, axis: usize) -> f64 {
         match axis {
             0 => self.x,
             1 => self.y,
             2 => self.z,
+            // sph-lint: allow(panic-path) — out-of-range bound, same
+            // contract as std slice indexing; axes come from 0..3 loops.
             _ => panic!("Vec3 axis out of range: {axis}"),
         }
     }
 
     /// Mutable access by axis index.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `axis > 2`, mirroring the slice-indexing contract.
     #[inline]
     pub fn component_mut(&mut self, axis: usize) -> &mut f64 {
         match axis {
             0 => &mut self.x,
             1 => &mut self.y,
             2 => &mut self.z,
+            // sph-lint: allow(panic-path) — out-of-range bound, same
+            // contract as std slice indexing; axes come from 0..3 loops.
             _ => panic!("Vec3 axis out of range: {axis}"),
         }
     }
@@ -242,6 +254,8 @@ impl Index<usize> for Vec3 {
             0 => &self.x,
             1 => &self.y,
             2 => &self.z,
+            // sph-lint: allow(panic-path) — the std Index contract IS
+            // panic-on-out-of-range; a Result here is not expressible.
             _ => panic!("Vec3 index out of range: {i}"),
         }
     }

@@ -5,6 +5,9 @@
 //! each Algorithm 1 phase on the host machine. Thread-safe so rayon
 //! workers can report concurrently.
 
+// sph-profiler is the sanctioned home of wall-clock reads (sph-lint R5).
+#![allow(clippy::disallowed_methods)]
+
 use crate::phase::Phase;
 use parking_lot::Mutex;
 use std::time::Instant;
@@ -21,7 +24,9 @@ impl PhaseTimers {
     }
 
     fn index(phase: Phase) -> usize {
-        Phase::all().iter().position(|&p| p == phase).unwrap()
+        // `Phase::all()` lists variants in declaration order, so the
+        // discriminant IS the slot (asserted by `index_matches_all_order`).
+        phase as usize
     }
 
     /// Time `f` and charge its duration to `phase`. Returns `f`'s output.
@@ -86,6 +91,15 @@ impl PhaseTimers {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_matches_all_order() {
+        // `PhaseTimers::index` uses the discriminant directly; that is only
+        // sound while `Phase::all()` lists variants in declaration order.
+        for (slot, p) in Phase::all().into_iter().enumerate() {
+            assert_eq!(PhaseTimers::index(p), slot, "{p:?}");
+        }
+    }
 
     #[test]
     fn time_accumulates() {

@@ -84,6 +84,8 @@ impl NeighborLists {
     /// Assemble from per-query rows (test/interop convenience; the hot
     /// path builds the CSR arrays directly).
     pub fn from_lists(lists: Vec<Vec<u32>>) -> Self {
+        // sph-lint: allow(raw-accumulation) — integer size bookkeeping;
+        // usize addition is exact, no FP order to freeze.
         let total: usize = lists.iter().map(|l| l.len()).sum();
         assert!(total <= u32::MAX as usize, "neighbour count overflows u32 CSR offsets");
         let mut offsets = Vec::with_capacity(lists.len() + 1);
@@ -101,7 +103,7 @@ impl NeighborLists {
     pub fn from_csr(offsets: Vec<u32>, indices: Vec<u32>) -> Self {
         assert!(!offsets.is_empty() && offsets[0] == 0, "CSR offsets must start at 0");
         assert_eq!(
-            *offsets.last().unwrap() as usize,
+            offsets.last().copied().unwrap_or(0) as usize,
             indices.len(),
             "CSR offsets/indices mismatch"
         );
@@ -305,7 +307,7 @@ impl CellGrid {
         // count is proportionate to the particle count.
         let cap = (MAX_CELLS_PER_PARTICLE * positions.len()).max(8);
         while dims[0] * dims[1] * dims[2] > cap {
-            let widest = (0..3).max_by_key(|&a| dims[a]).unwrap();
+            let widest = (0..3).max_by_key(|&a| dims[a]).unwrap_or(0);
             dims[widest] = dims[widest].div_ceil(2);
         }
         let mut inv_width = [0.0f64; 3];
@@ -576,6 +578,8 @@ pub fn build_csr_lists<Q: NeighborQuery + ?Sized>(
         })
         .collect();
     // Ordered reduce straight into the CSR arrays.
+    // sph-lint: allow(raw-accumulation) — integer size bookkeeping;
+    // usize addition is exact, no FP order to freeze.
     let total: usize = chunks.iter().map(|c| c.flat.len()).sum();
     assert!(total <= u32::MAX as usize, "neighbour count overflows u32 CSR offsets");
     let mut offsets = Vec::with_capacity(centers.len() + 1);
@@ -586,6 +590,8 @@ pub fn build_csr_lists<Q: NeighborQuery + ?Sized>(
     for chunk in chunks {
         merged.merge(&chunk.stats);
         for c in chunk.counts {
+            // sph-lint: allow(raw-accumulation) — u32 CSR prefix sum;
+            // integer addition is exact, no FP order to freeze.
             running += c;
             offsets.push(running);
         }

@@ -111,13 +111,23 @@ impl<'a> GravitySolver<'a> {
             if node.is_leaf() {
                 for k in node.start..node.end {
                     let m = masses_sorted[k as usize];
+                    // sph-lint: allow(raw-accumulation) — FROZEN: leaf
+                    // monopole sums in Morton order are part of the
+                    // gravity bit-identity contract across backends.
                     mass += m;
+                    // sph-lint: allow(raw-accumulation) — FROZEN: same
+                    // contract as `mass` above (identical loop, order).
                     weighted += pos[k as usize] * m;
                 }
             } else {
                 for &c in &node.children {
                     if c != u32::MAX {
+                        // sph-lint: allow(raw-accumulation) — FROZEN merge:
+                        // 8-term child moments fold in child-slot order;
+                        // part of the gravity bit-identity contract.
                         mass += moments[c as usize].mass;
+                        // sph-lint: allow(raw-accumulation) — FROZEN: same
+                        // contract as `mass` above (identical loop).
                         weighted += moments[c as usize].com * moments[c as usize].mass;
                     }
                 }
@@ -132,6 +142,9 @@ impl<'a> GravitySolver<'a> {
                     let d = pos[k as usize] - com;
                     m2.add_scaled_outer(d, m);
                     s3.add_scaled_cube(d, m);
+                    // sph-lint: allow(raw-accumulation) — FROZEN: leaf
+                    // octupole trace vector in Morton order; part of the
+                    // gravity bit-identity contract.
                     t += d * (m * d.norm_sq());
                 }
             } else {
@@ -146,11 +159,18 @@ impl<'a> GravitySolver<'a> {
                     //   S3' = S3 + sym(s ⊗ M2) + m s⊗s⊗s
                     //   t'  = t + 2 M2·s + tr(M2)·s + m s² s
                     let s = ch.com - com;
+                    // sph-lint: allow(raw-accumulation) — FROZEN: the
+                    // parallel-axis moment merges below run in child-slot
+                    // order; part of the gravity bit-identity contract.
                     m2 += ch.m2;
                     m2.add_scaled_outer(s, ch.mass);
+                    // sph-lint: allow(raw-accumulation) — FROZEN: same
+                    // contract as the `m2` merge above (identical loop).
                     s3 += ch.s3;
                     s3.add_scaled_sym_outer(s, &ch.m2, 1.0);
                     s3.add_scaled_cube(s, ch.mass);
+                    // sph-lint: allow(raw-accumulation) — FROZEN: same
+                    // contract as the `m2` merge above (identical loop).
                     t += ch.t
                         + ch.m2.mul_vec(s) * 2.0
                         + s * ch.m2.trace()
@@ -220,6 +240,9 @@ impl<'a> GravitySolver<'a> {
                     // φ₂ = −G (d·Q·d) / (2 r⁵)
                     // a₂ = G Q d / r⁵ − (5G/2)(d·Q·d) d / r⁷
                     potential -= 0.5 * g * dqd * inv_r5;
+                    // sph-lint: allow(raw-accumulation) — FROZEN: the
+                    // multipole traversal accumulates in stack order;
+                    // part of the gravity bit-identity contract.
                     accel += qd * (g * inv_r5) - d * (2.5 * g * dqd * inv_r7);
                     if self.config.order.degree() >= 3 {
                         // Octupole (Cartesian Taylor term):
@@ -232,6 +255,8 @@ impl<'a> GravitySolver<'a> {
                         let inv_r9 = inv_r7 / r2;
                         let poly = 5.0 * s_ddd - 3.0 * td * r2;
                         potential -= 0.5 * g * poly * inv_r7;
+                        // sph-lint: allow(raw-accumulation) — FROZEN: same
+                        // traversal-order contract as the quadrupole term.
                         accel += (s_dd * 15.0 - mom.t * (3.0 * r2) - d * (6.0 * td))
                             * (0.5 * g * inv_r7)
                             - d * (3.5 * g * poly * inv_r9);
@@ -318,9 +343,15 @@ pub fn direct_field(
 }
 
 /// Total gravitational energy `½ Σ mᵢ φᵢ` from per-particle potentials.
+/// Diagnostic-only reduction (never feeds a trajectory), so it uses the
+/// compensated accumulator.
 pub fn gravitational_energy(masses: &[f64], potentials: &[f64]) -> f64 {
     assert_eq!(masses.len(), potentials.len());
-    0.5 * masses.iter().zip(potentials).map(|(&m, &p)| m * p).sum::<f64>()
+    let mut acc = sph_math::KahanAccumulator::new();
+    for (&m, &p) in masses.iter().zip(potentials) {
+        acc.add(m * p);
+    }
+    0.5 * acc.total()
 }
 
 #[cfg(test)]

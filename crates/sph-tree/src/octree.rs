@@ -181,6 +181,9 @@ impl Octree {
                 });
             }
         }
+        // sph-lint: allow(panic-path) — `build` only creates internal nodes
+        // by splitting an overfull leaf, so at least one child exists; an
+        // all-NO_CHILD internal node is a construction bug, not an input.
         let tight = tight.expect("internal node without children");
         self.nodes[node].tight = tight;
         tight

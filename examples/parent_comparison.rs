@@ -6,6 +6,8 @@
 //! ```text
 //! cargo run --release --example parent_comparison
 //! ```
+// Wall-clock timing IS the measurement here; never feeds a trajectory.
+#![allow(clippy::disallowed_methods)]
 
 use sph_exa_repro::cluster::{model_step, piz_daint, StepModelConfig, StepWorkload};
 use sph_exa_repro::parents::{changa, miniapp, sphflow, sphynx, Scenario};

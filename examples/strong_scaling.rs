@@ -36,7 +36,8 @@ fn main() {
             cost: setup.cost_for(Scenario::SquarePatch),
         };
         let sweep = ScalingConfig { core_counts: vec![12, 24, 48, 96, 192, 384], steps: 3 };
-        let (rows, _) = scaling_experiment(&mut sim, &model, &sweep);
+        let (rows, _) =
+            scaling_experiment(&mut sim, &model, &sweep).expect("physics evolution stayed stable");
         println!("\n{}", render_scaling_table(machine.name, &rows));
     }
     println!(

@@ -19,7 +19,7 @@ fn rows_for(setup: &CodeSetup, scenario: Scenario) -> Vec<sph_exa_repro::cluster
         cost: setup.cost_for(scenario),
     };
     let cfg = ScalingConfig { core_counts: vec![12, 48, 192, 768], steps: 2 };
-    let (rows, _) = scaling_experiment(&mut sim, &model, &cfg);
+    let (rows, _) = scaling_experiment(&mut sim, &model, &cfg).unwrap();
     rows
 }
 
