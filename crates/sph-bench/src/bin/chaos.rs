@@ -1,0 +1,264 @@
+//! Chaos suite: drive the self-healing distributed driver through a
+//! seeded survivable fault schedule, verify bit-identity against the
+//! fault-free run at every rank count, and measure what recovery costs.
+//!
+//! ```text
+//! chaos [--json PATH] [--steps N] [--seed S]
+//! ```
+//!
+//! * `--json PATH` write the machine-readable report (default:
+//!   `BENCH_recovery.json`)
+//! * `--steps N`   macro-steps per run (default 8)
+//! * `--seed S`    fault-plan seed (default 42)
+//!
+//! The report records, per nranks ∈ {1, 2, 4}: fingerprint equality,
+//! rollback count, replayed-step cost, detection records, and the
+//! Daly-vs-fixed checkpoint cadence comparison on a fault-free run.
+//! Exit code 1 if any chaos run diverges from its fault-free reference.
+// CLI surface: wall-clock timing feeds the report and the Daly cadence
+// only; never a trajectory.
+#![allow(clippy::disallowed_methods)]
+
+use sph_core::config::SphConfig;
+use sph_core::diagnostics::state_fingerprint;
+use sph_core::ParticleSystem;
+use sph_domain::ExchangePath;
+use sph_exa::{
+    DistributedBuilder, DistributedSimulation, RecoveryStats, ResilientConfig, ResilientSimulation,
+    SchedulerMode,
+};
+use sph_ft::chaos::{CorruptionMode, FaultKind, FaultPlan};
+use sph_ft::MemoryStore;
+use sph_scenarios::{square_patch, SquarePatchConfig};
+
+const RANK_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn patch_ic() -> ParticleSystem {
+    square_patch(&SquarePatchConfig { nx: 10, nz: 10, ..SquarePatchConfig::default() })
+}
+
+fn patch_sph() -> SphConfig {
+    let cfg = SquarePatchConfig { nx: 10, nz: 10, ..SquarePatchConfig::default() };
+    SphConfig { gamma: cfg.gamma, target_neighbors: 40, max_h_iterations: 5, ..Default::default() }
+}
+
+fn build(nranks: usize) -> DistributedSimulation {
+    DistributedBuilder::new(patch_ic())
+        .config(patch_sph())
+        .nranks(nranks)
+        .build()
+        .expect("builder accepts the patch IC")
+}
+
+/// The survivable schedule: one of each recoverable fault kind.
+fn survivable_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .at(1, FaultKind::Transient { path: ExchangePath::DtReduce, failures: 2 })
+        .at(2, FaultKind::CorruptPayload { path: ExchangePath::GhostRefresh, bit: 7, repeat: 1 })
+        .at(3, FaultKind::CorruptField)
+        .at(4, FaultKind::KillRank { rank: 1, respawnable: true })
+        .at(
+            5,
+            FaultKind::CorruptNewestCheckpoint {
+                mode: CorruptionMode::BitFlip { byte: 11, bit: 3 },
+            },
+        )
+        .at(5, FaultKind::CorruptField)
+}
+
+struct ChaosRow {
+    nranks: usize,
+    matched: bool,
+    wall_reference_s: f64,
+    wall_chaos_s: f64,
+    stats: RecoveryStats,
+}
+
+fn detections_json(stats: &RecoveryStats) -> String {
+    stats
+        .detections
+        .iter()
+        .map(|d| format!(r#"{{ "step": {}, "detector": "{}" }}"#, d.step, d.detector))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn rollbacks_json(stats: &RecoveryStats) -> String {
+    stats
+        .rollback_records
+        .iter()
+        .map(|r| {
+            format!(
+                r#"{{ "from_step": {}, "to_step": {}, "generations_skipped": {} }}"#,
+                r.from_step, r.to_step, r.generations_skipped
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn main() {
+    let mut json_path = "BENCH_recovery.json".to_string();
+    let mut steps: u64 = 8;
+    let mut seed: u64 = 42;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_path = args.next().expect("--json needs a path"),
+            "--steps" => {
+                steps = args
+                    .next()
+                    .expect("--steps needs a value")
+                    .parse()
+                    .expect("--steps needs an integer")
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed needs an integer")
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let threads = std::env::var("SPH_THREADS").unwrap_or_else(|_| "1".into());
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+
+    for &nranks in &RANK_COUNTS {
+        // Fault-free reference trajectory.
+        let mut reference = build(nranks);
+        let t0 = std::time::Instant::now();
+        reference.run(steps as usize).expect("stable fault-free run");
+        let wall_reference_s = t0.elapsed().as_secs_f64();
+        let want = state_fingerprint(&reference.sys);
+
+        // Chaos run through the full survivable schedule.
+        let plan = survivable_plan(seed);
+        let rcfg =
+            ResilientConfig { scheduler: SchedulerMode::FixedSteps(2), ..Default::default() };
+        let mut resilient =
+            ResilientSimulation::new(build(nranks), Box::new(MemoryStore::new()), &plan, rcfg)
+                .expect("gen-0 checkpoint");
+        let t0 = std::time::Instant::now();
+        let stats = resilient.run(steps).expect("survivable schedule must complete");
+        let wall_chaos_s = t0.elapsed().as_secs_f64();
+
+        let matched = state_fingerprint(resilient.sys()) == want;
+        all_ok &= matched;
+        println!(
+            "nranks {nranks}: {}  rollbacks {}  replayed {} steps  detections {}  \
+             ({:.2}s fault-free, {:.2}s chaos)",
+            if matched { "bit-identical" } else { "DIVERGED" },
+            stats.rollbacks,
+            stats.steps_replayed,
+            stats.detections.len(),
+            wall_reference_s,
+            wall_chaos_s,
+        );
+        rows.push(ChaosRow { nranks, matched, wall_reference_s, wall_chaos_s, stats });
+    }
+
+    // Daly-vs-fixed cadence on a fault-free resilient run: same
+    // trajectory either way (checkpointing never touches physics); the
+    // comparison is how many checkpoints each cadence pays for.
+    let cadence_rows: Vec<String> = [
+        ("fixed_every_2", SchedulerMode::FixedSteps(2)),
+        // MTBF 60 s with ~ms-scale steps: Daly's interval is much longer
+        // than this whole run, so it writes (almost) nothing beyond gen-0.
+        ("daly_mtbf_60s", SchedulerMode::Daly { mtbf: 60.0, write_cost_guess: 1e-3 }),
+    ]
+    .into_iter()
+    .map(|(name, mode)| {
+        let rcfg = ResilientConfig { scheduler: mode, ..Default::default() };
+        let mut run = ResilientSimulation::new(
+            build(2),
+            Box::new(MemoryStore::new()),
+            &FaultPlan::new(seed),
+            rcfg,
+        )
+        .expect("gen-0 checkpoint");
+        let t0 = std::time::Instant::now();
+        let stats = run.run(steps).expect("fault-free resilient run");
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "cadence {name}: {} checkpoints, {} bytes, {:.2}s",
+            stats.checkpoints_written, stats.checkpoint_bytes, wall
+        );
+        format!(
+            r#"    {{ "cadence": "{name}", "checkpoints_written": {}, "checkpoint_bytes": {}, "wall_s": {:.6} }}"#,
+            stats.checkpoints_written, stats.checkpoint_bytes, wall
+        )
+    })
+    .collect();
+
+    let chaos_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let s = &r.stats;
+            format!(
+                r#"    {{
+      "nranks": {},
+      "bit_identical": {},
+      "wall_reference_s": {:.6},
+      "wall_chaos_s": {:.6},
+      "steps_executed": {},
+      "steps_replayed": {},
+      "rollbacks": {},
+      "checkpoints_written": {},
+      "checkpoint_bytes": {},
+      "checkpoint_write_failures": {},
+      "sdc_injected": {},
+      "checkpoints_corrupted": {},
+      "ranks_respawned": {},
+      "detections": [{}],
+      "rollback_records": [{}]
+    }}"#,
+                r.nranks,
+                r.matched,
+                r.wall_reference_s,
+                r.wall_chaos_s,
+                s.steps_executed,
+                s.steps_replayed,
+                s.rollbacks,
+                s.checkpoints_written,
+                s.checkpoint_bytes,
+                s.checkpoint_write_failures,
+                s.sdc_injected,
+                s.checkpoints_corrupted,
+                s.ranks_respawned,
+                detections_json(s),
+                rollbacks_json(s),
+            )
+        })
+        .collect();
+
+    let json = format!(
+        r#"{{
+  "bench": "chaos_recovery",
+  "scenario": "square_patch_10x10",
+  "steps": {steps},
+  "seed": {seed},
+  "threads": {threads},
+  "chaos": [
+{}
+  ],
+  "cadence_fault_free": [
+{}
+  ]
+}}
+"#,
+        chaos_rows.join(",\n"),
+        cadence_rows.join(",\n"),
+    );
+    std::fs::write(&json_path, &json).expect("write JSON report");
+    println!("wrote {json_path}");
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

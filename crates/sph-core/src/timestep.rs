@@ -99,7 +99,16 @@ pub fn per_particle_dt(sys: &ParticleSystem, cfg: &SphConfig) -> Vec<f64> {
 /// drivers may reduce per-rank minima in any order and still agree
 /// bit-for-bit with the single-rank result.
 pub fn global_dt(dts: &[f64]) -> Result<f64, TimeStepError> {
-    let mut dt = f64::INFINITY;
+    validate_dts(dts)?;
+    Ok(finalize_global_dt(reduce_min_dt(dts)))
+}
+
+/// Validate every per-particle bound without reducing: NaN or
+/// non-positive entries surface as a [`TimeStepError`] naming the first
+/// offending particle. Split out so a distributed driver can validate on
+/// the owners and reduce through its exchange carrier while keeping the
+/// exact error semantics of [`global_dt`].
+pub fn validate_dts(dts: &[f64]) -> Result<(), TimeStepError> {
     for (particle, &d) in dts.iter().enumerate() {
         if d.is_nan() {
             return Err(TimeStepError::NonFinite { particle });
@@ -107,25 +116,43 @@ pub fn global_dt(dts: &[f64]) -> Result<f64, TimeStepError> {
         if d <= 0.0 {
             return Err(TimeStepError::NonPositive { particle, dt: d });
         }
-        dt = dt.min(d);
     }
-    if dt.is_finite() {
-        Ok(dt)
+    Ok(())
+}
+
+/// Exact order-independent `min` over validated bounds (`INFINITY` when
+/// empty — the reduction identity a distributed min-reduce also uses).
+pub fn reduce_min_dt(dts: &[f64]) -> f64 {
+    dts.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Turn a reduced minimum into the Global-policy step.
+pub fn finalize_global_dt(reduced_min: f64) -> f64 {
+    if reduced_min.is_finite() {
+        reduced_min
     } else {
         // Cold, static, force-free gas: any step is stable; pick unity.
-        Ok(1.0)
+        1.0
+    }
+}
+
+/// Turn a reduced minimum into the Adaptive-policy step: the Global step
+/// limited to `growth_limit × previous` so the step cannot explode after
+/// a transient.
+pub fn finalize_adaptive_dt(reduced_min: f64, previous: f64, growth_limit: f64) -> f64 {
+    let raw = finalize_global_dt(reduced_min);
+    if previous > 0.0 {
+        raw.min(previous * growth_limit)
+    } else {
+        raw
     }
 }
 
 /// Adaptive step (SPH-flow): new global bound, limited to
 /// `growth_limit × previous` so the step cannot explode after a transient.
 pub fn adaptive_dt(dts: &[f64], previous: f64, growth_limit: f64) -> Result<f64, TimeStepError> {
-    let raw = global_dt(dts)?;
-    if previous > 0.0 {
-        Ok(raw.min(previous * growth_limit))
-    } else {
-        Ok(raw)
-    }
+    validate_dts(dts)?;
+    Ok(finalize_adaptive_dt(reduce_min_dt(dts), previous, growth_limit))
 }
 
 /// Block-time-step rung assignment (ChaNGa).

@@ -57,6 +57,7 @@
 //! *and* `SPH_THREADS`, which is what lets one `sph-ft` conservation
 //! checksum govern a whole distributed run.
 
+pub mod exchange;
 pub mod halo;
 pub mod hilbert;
 pub mod metrics;
@@ -64,6 +65,7 @@ pub mod orb;
 pub mod sfc;
 pub mod slab;
 
+pub use exchange::{Exchange, ExchangeError, ExchangeErrorKind, ExchangePath, InProcessExchange};
 pub use halo::{halo_sets, HaloExchange, HaloRadiusPolicy};
 pub use metrics::DecompositionMetrics;
 pub use orb::orb_partition;

@@ -44,16 +44,21 @@ use sph_core::forces::compute_forces;
 use sph_core::gradients::{compute_iad_matrices, compute_velocity_gradients};
 use sph_core::integrator::{drift, kick};
 use sph_core::particles::ParticleSystem;
-use sph_core::timestep::{adaptive_dt, global_dt, per_particle_dt, TimeStepError};
+use sph_core::timestep::{
+    finalize_adaptive_dt, finalize_global_dt, per_particle_dt, validate_dts, TimeStepError,
+};
 use sph_core::volume::compute_volume_elements;
 use sph_core::StepStats;
+use sph_domain::exchange::{Exchange, ExchangeError, ExchangePath, InProcessExchange};
 use sph_domain::{
     halo_sets, orb_partition, sfc_partition, Decomposition, HaloExchange, HaloRadiusPolicy, SfcKind,
 };
 use sph_ft::checkpoint::CheckpointStore;
 use sph_ft::codec::fnv1a;
+use sph_ft::error::FtError;
 use sph_kernels::{Kernel, SUPPORT_RADIUS};
 use sph_math::Aabb;
+use sph_math::Vec3;
 use sph_profiler::timers::PhaseTimers;
 use sph_profiler::Phase;
 use sph_tree::{
@@ -112,6 +117,81 @@ impl From<DistributedBuildError> for String {
     }
 }
 
+/// Why a distributed step, checkpoint, or restore failed.
+///
+/// Every failure mode of the running driver folds into this one enum so
+/// a recovery layer can branch on the *kind* of fault: time-step errors
+/// and exchange corruption call for rollback, storage errors for a
+/// checkpoint fallback, build/restore errors for operator attention.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistributedError {
+    /// A per-particle time-step bound was NaN or non-positive.
+    TimeStep(TimeStepError),
+    /// An exchange failed beyond the transient-retry budget.
+    Exchange(ExchangeError),
+    /// Checkpoint storage failed (missing, corrupt, or I/O).
+    Storage(FtError),
+    /// The restored configuration failed the builder's validation.
+    Build(DistributedBuildError),
+    /// The checkpoint set is internally inconsistent (manifest/snapshot
+    /// shape mismatches).
+    Restore { detail: String },
+}
+
+impl std::fmt::Display for DistributedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistributedError::TimeStep(e) => write!(f, "{e}"),
+            DistributedError::Exchange(e) => write!(f, "{e}"),
+            DistributedError::Storage(e) => write!(f, "{e}"),
+            DistributedError::Build(e) => write!(f, "{e}"),
+            DistributedError::Restore { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DistributedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistributedError::TimeStep(e) => Some(e),
+            DistributedError::Exchange(e) => Some(e),
+            DistributedError::Storage(e) => Some(e),
+            DistributedError::Build(e) => Some(e),
+            DistributedError::Restore { .. } => None,
+        }
+    }
+}
+
+impl From<TimeStepError> for DistributedError {
+    fn from(e: TimeStepError) -> Self {
+        DistributedError::TimeStep(e)
+    }
+}
+
+impl From<ExchangeError> for DistributedError {
+    fn from(e: ExchangeError) -> Self {
+        DistributedError::Exchange(e)
+    }
+}
+
+impl From<FtError> for DistributedError {
+    fn from(e: FtError) -> Self {
+        DistributedError::Storage(e)
+    }
+}
+
+impl From<DistributedBuildError> for DistributedError {
+    fn from(e: DistributedBuildError) -> Self {
+        DistributedError::Build(e)
+    }
+}
+
+impl From<DistributedError> for String {
+    fn from(e: DistributedError) -> String {
+        e.to_string()
+    }
+}
+
 /// Which decomposition algorithm the driver uses (Table 3 rows; slab is
 /// deliberately absent — it is the strawman the paper's parents moved
 /// away from).
@@ -140,6 +220,12 @@ pub struct DistributedConfig {
     /// values keep halos tight; the coverage verification renegotiates on
     /// a miss, so correctness never depends on this guess.
     pub halo_growth_steps: u32,
+    /// How many times a *transient* exchange failure is retried before it
+    /// escalates as [`DistributedError::Exchange`]. The in-process
+    /// carrier reissues immediately (a real transport would back off
+    /// exponentially between attempts); non-transient failures never
+    /// retry.
+    pub exchange_retries: u32,
 }
 
 impl Default for DistributedConfig {
@@ -149,6 +235,7 @@ impl Default for DistributedConfig {
             partitioner: RankPartitioner::Orb,
             rebalance_every: 10,
             halo_growth_steps: 1,
+            exchange_retries: 3,
         }
     }
 }
@@ -167,6 +254,8 @@ pub struct ExchangeLog {
     pub migrations: u64,
     /// Full decomposition rebuilds.
     pub rebalances: u64,
+    /// Transient exchange failures absorbed by the bounded retry loop.
+    pub transient_retries: u64,
 }
 
 /// Builder for [`DistributedSimulation`].
@@ -176,6 +265,7 @@ pub struct DistributedBuilder {
     gravity: Option<GravityConfig>,
     dist: DistributedConfig,
     num_threads: Option<usize>,
+    exchange: Option<Box<dyn Exchange>>,
 }
 
 impl DistributedBuilder {
@@ -186,6 +276,7 @@ impl DistributedBuilder {
             gravity: None,
             dist: DistributedConfig::default(),
             num_threads: None,
+            exchange: None,
         }
     }
 
@@ -218,6 +309,13 @@ impl DistributedBuilder {
         self
     }
 
+    /// The exchange carrier behind the driver's five communication paths
+    /// (defaults to [`InProcessExchange`], the determinism reference).
+    pub fn exchange(mut self, exchange: Box<dyn Exchange>) -> Self {
+        self.exchange = Some(exchange);
+        self
+    }
+
     pub fn build(self) -> Result<DistributedSimulation, DistributedBuildError> {
         if self.dist.nranks == 0 || self.sys.is_empty() || self.dist.nranks > self.sys.len() {
             return Err(DistributedBuildError::BadRankCount {
@@ -236,7 +334,7 @@ impl DistributedBuilder {
                 .map_err(|e| DistributedBuildError::Invalid(format!("thread pool: {e}")))?;
         }
         let decomp = partition(&self.sys, self.dist.partitioner, self.dist.nranks, &[]);
-        DistributedSimulation::assemble(
+        let mut sim = DistributedSimulation::assemble(
             self.sys,
             self.config,
             self.gravity,
@@ -244,7 +342,11 @@ impl DistributedBuilder {
             decomp,
             0.0,
             false,
-        )
+        )?;
+        if let Some(exchange) = self.exchange {
+            sim.exchange = exchange;
+        }
+        Ok(sim)
     }
 }
 
@@ -282,6 +384,9 @@ pub struct DistributedSimulation {
     derivatives_fresh: bool,
     last_exchange: Option<HaloExchange>,
     log: ExchangeLog,
+    /// The carrier behind the five exchange paths (see
+    /// [`sph_domain::exchange`]); in-process by default.
+    exchange: Box<dyn Exchange>,
 }
 
 /// Per-rank working set of one derivative evaluation.
@@ -344,6 +449,127 @@ fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
     out
 }
 
+/// Bounded retry around one exchange operation: transient failures are
+/// reissued up to `retries` times (counted in the log), anything else —
+/// and the final transient miss — escalates to the caller. The
+/// in-process carrier reissues immediately; a real transport would sleep
+/// an exponential backoff between attempts, which changes wall-clock but
+/// never the delivered bits.
+fn with_retry<T>(
+    exchange: &mut dyn Exchange,
+    log: &mut ExchangeLog,
+    retries: u32,
+    mut op: impl FnMut(&mut dyn Exchange) -> Result<T, ExchangeError>,
+) -> Result<T, ExchangeError> {
+    let mut attempt = 0u32;
+    loop {
+        match op(exchange) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() && attempt < retries => {
+                attempt += 1;
+                log.transient_retries += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Which owner-computed fields a ghost refresh ships (one variant per
+/// inter-kernel exchange of the superstep protocol).
+#[derive(Debug, Clone, Copy)]
+enum GhostFields {
+    /// Adapted smoothing length, density, grad-h term (post-density).
+    HRhoOmega,
+    /// Volume elements + the generalized-VE rewritten density.
+    VolRho,
+    /// IAD correction matrices.
+    CIad,
+    /// Velocity divergence and curl.
+    DivCurl,
+}
+
+impl GhostFields {
+    fn words(self) -> usize {
+        match self {
+            GhostFields::HRhoOmega => 3,
+            GhostFields::VolRho => 2,
+            GhostFields::CIad => 9,
+            GhostFields::DivCurl => 2,
+        }
+    }
+
+    /// Append particle `g`'s fields (from the owners' published state).
+    fn pack(self, sys: &ParticleSystem, g: usize, out: &mut Vec<f64>) {
+        match self {
+            GhostFields::HRhoOmega => out.extend_from_slice(&[sys.h[g], sys.rho[g], sys.omega[g]]),
+            GhostFields::VolRho => out.extend_from_slice(&[sys.vol[g], sys.rho[g]]),
+            GhostFields::CIad => {
+                for row in sys.c_iad[g].m {
+                    out.extend_from_slice(&row);
+                }
+            }
+            GhostFields::DivCurl => out.extend_from_slice(&[sys.div_v[g], sys.curl_v[g]]),
+        }
+    }
+
+    /// Scatter one particle's delivered words into local index `k`.
+    fn unpack(self, sys_l: &mut ParticleSystem, k: usize, words: &[f64]) {
+        match self {
+            GhostFields::HRhoOmega => {
+                sys_l.h[k] = words[0];
+                sys_l.rho[k] = words[1];
+                sys_l.omega[k] = words[2];
+            }
+            GhostFields::VolRho => {
+                sys_l.vol[k] = words[0];
+                sys_l.rho[k] = words[1];
+            }
+            GhostFields::CIad => {
+                for (r, row) in sys_l.c_iad[k].m.iter_mut().enumerate() {
+                    row.copy_from_slice(&words[3 * r..3 * r + 3]);
+                }
+            }
+            GhostFields::DivCurl => {
+                sys_l.div_v[k] = words[0];
+                sys_l.curl_v[k] = words[1];
+            }
+        }
+    }
+}
+
+/// One ghost-refresh superstep: for every rank, pack the requested fields
+/// of its ghosts (ascending global-id order), move them through the
+/// exchange carrier, and scatter the *delivered* words into the rank's
+/// local system. In-process the delivery is the identity, so this is
+/// bit-identical to copying straight from the global store; a faulty or
+/// real carrier interposes here.
+fn refresh_ghosts(
+    exchange: &mut dyn Exchange,
+    log: &mut ExchangeLog,
+    retries: u32,
+    sys: &ParticleSystem,
+    wss: &mut [RankWorkspace],
+    fields: GhostFields,
+) -> Result<(), ExchangeError> {
+    let words = fields.words();
+    for (r, ws) in wss.iter_mut().enumerate() {
+        if ws.ghosts.is_empty() {
+            continue;
+        }
+        let mut payload = Vec::with_capacity(ws.ghosts.len() * words);
+        for &(_, g) in &ws.ghosts {
+            fields.pack(sys, g as usize, &mut payload);
+        }
+        with_retry(exchange, log, retries, |ex| {
+            ex.deliver_f64(ExchangePath::GhostRefresh, r as u32, &mut payload)
+        })?;
+        for (j, &(k, _)) in ws.ghosts.iter().enumerate() {
+            fields.unpack(&mut ws.sys_l, k as usize, &payload[j * words..(j + 1) * words]);
+        }
+    }
+    Ok(())
+}
+
 impl DistributedSimulation {
     fn assemble(
         sys: ParticleSystem,
@@ -394,6 +620,7 @@ impl DistributedSimulation {
             derivatives_fresh,
             last_exchange: None,
             log: ExchangeLog::default(),
+            exchange: Box::new(InProcessExchange::new()),
             dist,
         })
     }
@@ -410,6 +637,12 @@ impl DistributedSimulation {
     /// The current ownership assignment.
     pub fn decomposition(&self) -> &Decomposition {
         &self.decomp
+    }
+
+    /// The distributed-driver configuration this run was built with
+    /// (recovery layers need it to re-`restore` with identical wiring).
+    pub fn distributed_config(&self) -> DistributedConfig {
+        self.dist
     }
 
     /// Per-rank wall-clock phase timers (rank-local kernel work only;
@@ -443,6 +676,31 @@ impl DistributedSimulation {
     /// Exchange / migration counters accumulated since construction.
     pub fn exchange_log(&self) -> ExchangeLog {
         self.log
+    }
+
+    /// Name of the active exchange carrier.
+    pub fn exchange_name(&self) -> &'static str {
+        self.exchange.name()
+    }
+
+    /// Swap the exchange carrier, returning the previous one. Recovery
+    /// layers use this to transplant a (stateful, fault-injecting or
+    /// connected) carrier into a simulation restored from checkpoint.
+    pub fn replace_exchange(&mut self, exchange: Box<dyn Exchange>) -> Box<dyn Exchange> {
+        std::mem::replace(&mut self.exchange, exchange)
+    }
+
+    /// Overwrite the exchange counters. A driver restored from checkpoint
+    /// starts at zero; recovery layers carry the live log over so the
+    /// telemetry records everything that actually happened, replays
+    /// included.
+    pub fn carry_exchange_log(&mut self, log: ExchangeLog) {
+        self.log = log;
+    }
+
+    /// Ask the carrier to bring a failed rank back (respawn/reconnect).
+    pub fn recover_rank(&mut self, rank: u32) -> Result<(), ExchangeError> {
+        self.exchange.recover_rank(rank)
     }
 
     /// Per-particle work units of the last derivative evaluation (the
@@ -518,25 +776,17 @@ impl DistributedSimulation {
             .collect()
     }
 
-    /// Refresh a rank's ghost copies from the global backing store (the
-    /// "receive" side; owners have already published).
-    fn refresh<F: Fn(&mut ParticleSystem, &ParticleSystem, usize, usize)>(
-        sys: &ParticleSystem,
-        ws: &mut RankWorkspace,
-        copy: F,
-    ) {
-        for &(k, g) in &ws.ghosts {
-            copy(&mut ws.sys_l, sys, k as usize, g as usize);
-        }
-    }
-
     // ---------------------------------------------------------------
     // The distributed derivative evaluation (Algorithm 1, steps 1–4)
     // ---------------------------------------------------------------
 
     /// Evaluate all derivatives for every owned particle on its owner.
-    fn evaluate_derivatives(&mut self) -> StepStats {
+    /// Exchange failures surface as `Err` with the state as of the failed
+    /// superstep — the recovery layer rolls back; the driver itself never
+    /// retries a non-transient fault.
+    fn evaluate_derivatives(&mut self) -> Result<StepStats, ExchangeError> {
         let nranks = self.dist.nranks;
+        let retries = self.dist.exchange_retries;
         let mut stats = StepStats::default();
 
         // --- Superstep 1+2: halo negotiation, collective h-iteration ---
@@ -555,7 +805,13 @@ impl DistributedSimulation {
             growth,
             self.dist.halo_growth_steps.min(headroom_cap),
         );
-        let mut radius = initial.negotiate(&per_rank_max_h);
+        // The max-h reduction is the first collective of the protocol;
+        // `radius_for` over the reduced max reproduces `negotiate`'s
+        // sequential fold bit-for-bit (max is order-independent).
+        let global_max_h = with_retry(self.exchange.as_mut(), &mut self.log, retries, |ex| {
+            ex.reduce_max(ExchangePath::HaloNegotiation, &per_rank_max_h)
+        })?;
+        let mut radius = initial.radius_for(global_max_h);
         let mut attempts = 0u32;
         let h_before = self.sys.h.clone();
 
@@ -567,6 +823,7 @@ impl DistributedSimulation {
             self.log.density_attempts += 1;
             let mut wss = self.build_workspaces(&halos);
             let mut attempt = StepStats::default();
+            let mut per_rank_measured = vec![0.0f64; nranks];
             for (r, ws) in wss.iter_mut().enumerate() {
                 let Some(grid) = &ws.grid else { continue };
                 if ws.owned_k.is_empty() {
@@ -582,6 +839,7 @@ impl DistributedSimulation {
                     )
                 });
                 ws.lists = lists;
+                per_rank_measured[r] = dstats.max_search_radius;
                 attempt.merge(&dstats);
             }
             // Owners publish the adapted h, ρ, Ω.
@@ -600,7 +858,12 @@ impl DistributedSimulation {
             // Acceptance is *only* by measured coverage — never by an
             // analytic cap, whose different rounding path could sit a few
             // ulps under the measured radius and admit a missed ghost.
-            if attempt.max_search_radius <= radius {
+            // The reduce goes through the exchange carrier (max over
+            // per-rank maxima ≡ the merged fold, exactly).
+            let measured = with_retry(self.exchange.as_mut(), &mut self.log, retries, |ex| {
+                ex.reduce_max(ExchangePath::HaloNegotiation, &per_rank_measured)
+            })?;
+            if measured <= radius {
                 self.last_exchange = Some(halos);
                 stats.merge(&attempt);
                 return self.finish_evaluation(wss, stats);
@@ -614,13 +877,12 @@ impl DistributedSimulation {
             // argument into a loud failure instead of a hang.
             assert!(
                 attempts < 64,
-                "halo negotiation failed to converge: radius {radius}, measured {}",
-                attempt.max_search_radius
+                "halo negotiation failed to converge: radius {radius}, measured {measured}"
             );
             // Escalate: at least the observed radius (which the failed
             // attempt understates, since it was computed on short halos),
             // at least one more growth factor.
-            radius = attempt.max_search_radius.max(radius * growth);
+            radius = measured.max(radius * growth);
             // The failed attempt mutated owned h — restore the pre-step
             // values so the retry reproduces the global trajectory.
             self.sys.h.copy_from_slice(&h_before);
@@ -634,18 +896,20 @@ impl DistributedSimulation {
         &mut self,
         mut wss: Vec<RankWorkspace>,
         mut stats: StepStats,
-    ) -> StepStats {
+    ) -> Result<StepStats, ExchangeError> {
+        let retries = self.dist.exchange_retries;
         // --- Superstep 3: volume elements / IAD / EOS / velocity grads ---
         // Each kernel reads neighbour fields the owners computed in the
         // previous superstep, so ghost copies are refreshed first — the
         // exchange a real MPI code would post.
-        for ws in wss.iter_mut() {
-            Self::refresh(&self.sys, ws, |l, g, k, gi| {
-                l.h[k] = g.h[gi];
-                l.rho[k] = g.rho[gi];
-                l.omega[k] = g.omega[gi];
-            });
-        }
+        refresh_ghosts(
+            self.exchange.as_mut(),
+            &mut self.log,
+            retries,
+            &self.sys,
+            &mut wss,
+            GhostFields::HRhoOmega,
+        )?;
         let iad = self.config.gradients == GradientScheme::Iad;
         for (r, ws) in wss.iter_mut().enumerate() {
             if ws.owned_k.is_empty() {
@@ -668,12 +932,14 @@ impl DistributedSimulation {
                 self.sys.rho[g] = ws.sys_l.rho[k as usize]; // generalized VE rewrites ρ
             }
         }
-        for ws in wss.iter_mut() {
-            Self::refresh(&self.sys, ws, |l, g, k, gi| {
-                l.vol[k] = g.vol[gi];
-                l.rho[k] = g.rho[gi];
-            });
-        }
+        refresh_ghosts(
+            self.exchange.as_mut(),
+            &mut self.log,
+            retries,
+            &self.sys,
+            &mut wss,
+            GhostFields::VolRho,
+        )?;
         if iad {
             for (r, ws) in wss.iter_mut().enumerate() {
                 if ws.owned_k.is_empty() {
@@ -694,11 +960,14 @@ impl DistributedSimulation {
                     self.sys.c_iad[g] = ws.sys_l.c_iad[k as usize];
                 }
             }
-            for ws in wss.iter_mut() {
-                Self::refresh(&self.sys, ws, |l, g, k, gi| {
-                    l.c_iad[k] = g.c_iad[gi];
-                });
-            }
+            refresh_ghosts(
+                self.exchange.as_mut(),
+                &mut self.log,
+                retries,
+                &self.sys,
+                &mut wss,
+                GhostFields::CIad,
+            )?;
         }
         // EOS is a pure per-particle function of (ρ, u): each rank applies
         // it to its whole local set, which reproduces the owner's p and cs
@@ -740,12 +1009,14 @@ impl DistributedSimulation {
                 self.sys.curl_v[g] = ws.sys_l.curl_v[k as usize];
             }
         }
-        for ws in wss.iter_mut() {
-            Self::refresh(&self.sys, ws, |l, g, k, gi| {
-                l.div_v[k] = g.div_v[gi];
-                l.curl_v[k] = g.curl_v[gi];
-            });
-        }
+        refresh_ghosts(
+            self.exchange.as_mut(),
+            &mut self.log,
+            retries,
+            &self.sys,
+            &mut wss,
+            GhostFields::DivCurl,
+        )?;
 
         // --- Superstep 4: symmetric forces ---
         // The pairwise closure must see every pair from both sides. A
@@ -910,7 +1181,7 @@ impl DistributedSimulation {
         }
 
         self.derivatives_fresh = true;
-        stats
+        Ok(stats)
     }
 
     // ---------------------------------------------------------------
@@ -921,22 +1192,35 @@ impl DistributedSimulation {
     /// as [`TimeStepError`] (naming the offending *global* particle id)
     /// instead of aborting every rank; the state is left as of the failed
     /// criterion evaluation.
-    pub fn step(&mut self) -> Result<StepReport, TimeStepError> {
+    pub fn step(&mut self) -> Result<StepReport, DistributedError> {
+        self.exchange.begin_step(self.sys.step_count);
         let mut stats = StepStats::default();
         if !self.derivatives_fresh {
-            stats.merge(&self.evaluate_derivatives());
+            stats.merge(&self.evaluate_derivatives()?);
         }
 
         // Step 5: per-particle bounds on the owner, reduced by an exact,
-        // order-independent min (in-process: one pass over the backing
-        // store — bit-identical to any per-rank reduction order).
+        // order-independent min. Validation happens rank-side (first
+        // offending *global* particle id), then each rank folds its owned
+        // minimum and the exchange min-reduces the per-rank values — the
+        // min of per-rank minima over a partition is bitwise the global
+        // min, and empty ranks contribute the +∞ identity.
         let dts =
             self.driver_timers.time(Phase::Update, || per_particle_dt(&self.sys, &self.config));
+        validate_dts(&dts)?;
+        let nranks = self.dist.nranks;
+        let per_rank_min: Vec<f64> = (0..nranks)
+            .map(|r| self.owned[r].iter().map(|&i| dts[i as usize]).fold(f64::INFINITY, f64::min))
+            .collect();
+        let retries = self.dist.exchange_retries;
+        let reduced = with_retry(self.exchange.as_mut(), &mut self.log, retries, |ex| {
+            ex.reduce_min(ExchangePath::DtReduce, &per_rank_min)
+        })?;
         let dt = match self.config.time_stepping {
             TimeStepping::Adaptive { growth_limit } => {
-                adaptive_dt(&dts, self.dt_prev, growth_limit)?
+                finalize_adaptive_dt(reduced, self.dt_prev, growth_limit)
             }
-            _ => global_dt(&dts)?,
+            _ => finalize_global_dt(reduced),
         };
 
         // Step 6: KDK leapfrog — each rank kicks its owned particles,
@@ -958,14 +1242,14 @@ impl DistributedSimulation {
         // sph-lint: allow(wall-clock) — PhaseTimers bookkeeping for the
         // measured cluster model; the timing never feeds the trajectory.
         let t0 = std::time::Instant::now();
-        self.migrate();
+        self.migrate()?;
         let step_index = self.sys.step_count + 1;
         if self.dist.rebalance_every > 0 && step_index.is_multiple_of(self.dist.rebalance_every) {
             self.rebalance();
         }
         self.driver_timers.add(Phase::Update, t0.elapsed().as_secs_f64());
 
-        stats.merge(&self.evaluate_derivatives());
+        stats.merge(&self.evaluate_derivatives()?);
         for r in 0..self.dist.nranks {
             self.timers[r].time(Phase::Update, || {
                 kick(&mut self.sys, dt / 2.0, &self.owned[r]);
@@ -984,16 +1268,25 @@ impl DistributedSimulation {
         })
     }
 
-    /// Run `n_steps` macro steps; stops at the first time-step error.
-    pub fn run(&mut self, n_steps: usize) -> Result<Vec<StepReport>, TimeStepError> {
+    /// Run `n_steps` macro steps; stops at the first step error.
+    pub fn run(&mut self, n_steps: usize) -> Result<Vec<StepReport>, DistributedError> {
         (0..n_steps).map(|_| self.step()).collect()
     }
 
     /// Reassign particles that drifted out of their owner's decomposition
     /// box to the rank with the nearest box (ties to the lowest rank —
-    /// deterministic). Returns the number of migrated particles.
-    fn migrate(&mut self) -> usize {
-        let mut moved = 0;
+    /// deterministic), shipping each mover's owner state to its new rank
+    /// through the exchange carrier. Returns the number of migrated
+    /// particles.
+    ///
+    /// Only `[x, v, m, h, u]` travel (9 f64 words per particle): the step
+    /// order is half-kick → drift → **migrate** → re-evaluate → half-kick,
+    /// and the re-evaluation recomputes every other field (ρ, ω, vol,
+    /// C-IAD, ∇·v, ∇×v, p, cs, a, du/dt) before anything reads it — the
+    /// same minimal payload a real MPI migration would post.
+    fn migrate(&mut self) -> Result<usize, ExchangeError> {
+        // Pass 1: decide every move (pure function of positions + boxes).
+        let mut moves: Vec<(usize, u32)> = Vec::new();
         for i in 0..self.sys.len() {
             let r = self.decomp.assignment[i] as usize;
             let p = self.sys.x[i];
@@ -1015,15 +1308,57 @@ impl DistributedSimulation {
                 }
             }
             if best != r as u32 {
-                self.decomp.assignment[i] = best;
-                moved += 1;
+                moves.push((i, best));
             }
+        }
+        // Pass 2: ship the movers' owner state to each destination rank,
+        // in ascending global-id order (moves are discovered in id order,
+        // so per-destination order is already ascending). In-process the
+        // delivery is the identity; a faulty carrier interposes here.
+        const WORDS: usize = 9;
+        let retries = self.dist.exchange_retries;
+        for dest in 0..self.dist.nranks as u32 {
+            let incoming: Vec<usize> =
+                moves.iter().filter(|&&(_, to)| to == dest).map(|&(i, _)| i).collect();
+            if incoming.is_empty() {
+                continue;
+            }
+            let mut payload = Vec::with_capacity(incoming.len() * WORDS);
+            for &i in &incoming {
+                let (x, v) = (self.sys.x[i], self.sys.v[i]);
+                payload.extend_from_slice(&[
+                    x.x,
+                    x.y,
+                    x.z,
+                    v.x,
+                    v.y,
+                    v.z,
+                    self.sys.m[i],
+                    self.sys.h[i],
+                    self.sys.u[i],
+                ]);
+            }
+            with_retry(self.exchange.as_mut(), &mut self.log, retries, |ex| {
+                ex.deliver_f64(ExchangePath::Migration, dest, &mut payload)
+            })?;
+            for (j, &i) in incoming.iter().enumerate() {
+                let w = &payload[j * WORDS..(j + 1) * WORDS];
+                self.sys.x[i] = Vec3::new(w[0], w[1], w[2]);
+                self.sys.v[i] = Vec3::new(w[3], w[4], w[5]);
+                self.sys.m[i] = w[6];
+                self.sys.h[i] = w[7];
+                self.sys.u[i] = w[8];
+            }
+        }
+        let moved = moves.len();
+        for (i, best) in moves {
+            self.decomp.assignment[i] = best;
         }
         if moved > 0 {
             self.owned = bucket_owned(&self.decomp);
         }
         self.log.migrations += moved as u64;
-        moved
+        Ok(moved)
     }
 
     /// Rebuild the decomposition from scratch with the measured
@@ -1045,17 +1380,32 @@ impl DistributedSimulation {
     /// real distributed code writes N files; the manifest records the
     /// rank count, the ownership assignment and the adaptive-step memory,
     /// so a restore reassembles the exact global state.
+    ///
+    /// Every byte bound for the store first crosses the exchange carrier's
+    /// [`ExchangePath::CheckpointBlob`] path (rank → I/O aggregator in a
+    /// real code). On `Ok` the carrier contract guarantees the delivered
+    /// bytes are unchanged, so the original encoding is saved; a carrier
+    /// error gates the save entirely — no torn checkpoints.
     pub fn checkpoint(
-        &self,
+        &mut self,
         store: &mut dyn CheckpointStore,
         label: &str,
-    ) -> Result<usize, String> {
+    ) -> Result<usize, DistributedError> {
+        let retries = self.dist.exchange_retries;
         let mut bytes = 0;
         for (r, owned) in self.owned.iter().enumerate() {
             let snap = self.sys.subset(owned);
+            let mut encoded = sph_ft::codec::encode(&snap);
+            with_retry(self.exchange.as_mut(), &mut self.log, retries, |ex| {
+                ex.deliver_bytes(ExchangePath::CheckpointBlob, r as u32, &mut encoded)
+            })?;
             bytes += store.save(&format!("{label}.rank{r}"), &snap)?;
         }
-        bytes += store.save_blob(label, &self.encode_manifest())?;
+        let mut manifest = self.encode_manifest();
+        with_retry(self.exchange.as_mut(), &mut self.log, retries, |ex| {
+            ex.deliver_bytes(ExchangePath::CheckpointBlob, 0, &mut manifest)
+        })?;
+        bytes += store.save_blob(label, &manifest)?;
         Ok(bytes)
     }
 
@@ -1070,13 +1420,14 @@ impl DistributedSimulation {
         config: SphConfig,
         gravity: Option<GravityConfig>,
         dist: DistributedConfig,
-    ) -> Result<Self, String> {
-        let manifest = Manifest::decode(&store.restore_blob(label)?)?;
+    ) -> Result<Self, DistributedError> {
+        let restore_err = |detail: String| DistributedError::Restore { detail };
+        let manifest = Manifest::decode(&store.restore_blob(label)?).map_err(restore_err)?;
         if manifest.nranks != dist.nranks {
-            return Err(format!(
+            return Err(restore_err(format!(
                 "manifest has {} ranks, caller requested {}",
                 manifest.nranks, dist.nranks
-            ));
+            )));
         }
         let decomp = Decomposition::new(manifest.assignment, manifest.nranks);
         let n = decomp.assignment.len();
@@ -1088,11 +1439,11 @@ impl DistributedSimulation {
             let owned = decomp.indices_of(r);
             let snap = store.restore(&format!("{label}.rank{r}"))?;
             if snap.len() != owned.len() {
-                return Err(format!(
+                return Err(restore_err(format!(
                     "rank {r} snapshot has {} particles, manifest assigns {}",
                     snap.len(),
                     owned.len()
-                ));
+                )));
             }
             let g = global.get_or_insert_with(|| {
                 let mut g = snap.clone();
@@ -1117,7 +1468,7 @@ impl DistributedSimulation {
                 g
             });
             if snap.time != g.time || snap.step_count != g.step_count {
-                return Err(format!("rank {r} snapshot is from a different step"));
+                return Err(restore_err(format!("rank {r} snapshot is from a different step")));
             }
             for (k, &gi) in owned.iter().enumerate() {
                 let gi = gi as usize;
@@ -1139,8 +1490,14 @@ impl DistributedSimulation {
                 g.rung[gi] = snap.rung[k];
             }
         }
-        let sys = global.ok_or("checkpoint has zero ranks")?;
-        let mut sim = Self::assemble(sys, config, gravity, dist, decomp, manifest.dt_prev, true)?;
+        let sys = global.ok_or_else(|| restore_err("checkpoint has zero ranks".to_string()))?;
+        // Derivatives are fresh in every checkpoint taken *between* steps
+        // (a completed step leaves them fresh, and that is the only state
+        // a running driver exposes) — but a checkpoint written before the
+        // first step carries the constructor's zeroed accelerations, and
+        // the replay must re-evaluate them exactly as the original run did.
+        let fresh = sys.step_count > 0;
+        let mut sim = Self::assemble(sys, config, gravity, dist, decomp, manifest.dt_prev, fresh)?;
         if !manifest.phi.is_empty() {
             // Restore the gravitational-energy baseline; without it the
             // first post-restore conservation() would read Φ = 0.
@@ -1338,6 +1695,7 @@ mod tests {
                 partitioner: RankPartitioner::Sfc(SfcKind::Hilbert),
                 rebalance_every: 2,
                 halo_growth_steps: 1,
+                ..Default::default()
             })
             .build()
             .unwrap();
@@ -1457,7 +1815,7 @@ mod tests {
     #[test]
     fn restore_with_different_rank_count_is_rejected() {
         let dcfg = DistributedConfig { nranks: 2, ..Default::default() };
-        let run = DistributedBuilder::new(gas_ball(150, 13))
+        let mut run = DistributedBuilder::new(gas_ball(150, 13))
             .config(quick_config())
             .distributed(dcfg)
             .build()
@@ -1473,7 +1831,7 @@ mod tests {
         )
         .err()
         .expect("rank-count mismatch must be rejected");
-        assert!(err.contains("ranks"), "{err}");
+        assert!(err.to_string().contains("ranks"), "{err}");
     }
 
     #[test]
@@ -1482,7 +1840,7 @@ mod tests {
         // builder — an Individual-stepping config would otherwise silently
         // integrate with Global semantics.
         let dcfg = DistributedConfig { nranks: 2, ..Default::default() };
-        let run = DistributedBuilder::new(gas_ball(150, 31))
+        let mut run = DistributedBuilder::new(gas_ball(150, 31))
             .config(quick_config())
             .distributed(dcfg)
             .build()
@@ -1497,7 +1855,7 @@ mod tests {
         let err = DistributedSimulation::restore(&store, "cp", individual, None, dcfg)
             .err()
             .expect("Individual stepping must be rejected on restore");
-        assert!(err.contains("time-stepping"), "{err}");
+        assert!(err.to_string().contains("time-stepping"), "{err}");
 
         let invalid = SphConfig { gamma: 0.1, ..quick_config() };
         assert!(DistributedSimulation::restore(&store, "cp", invalid, None, dcfg).is_err());
@@ -1532,7 +1890,10 @@ mod tests {
         let time_before = dist.sys.time;
         dist.sys.a[41] = Vec3::new(f64::NAN, 0.0, 0.0);
         let err = dist.step().unwrap_err();
-        assert!(matches!(err, TimeStepError::NonFinite { particle: 41 }), "{err}");
+        assert!(
+            matches!(err, DistributedError::TimeStep(TimeStepError::NonFinite { particle: 41 })),
+            "{err}"
+        );
         assert_eq!(dist.sys.time, time_before, "failed step must not advance time");
     }
 

@@ -20,10 +20,15 @@
 //! accounting (the input of the cluster performance model).
 
 pub mod distributed;
+pub mod resilient;
 pub mod simulation;
 
 pub use distributed::{
-    DistributedBuildError, DistributedBuilder, DistributedConfig, DistributedSimulation,
-    ExchangeLog, RankPartitioner, SUPPORTED_TIME_STEPPING,
+    DistributedBuildError, DistributedBuilder, DistributedConfig, DistributedError,
+    DistributedSimulation, ExchangeLog, RankPartitioner, SUPPORTED_TIME_STEPPING,
+};
+pub use resilient::{
+    Detection, RecoveryError, RecoveryStats, ResilientConfig, ResilientSimulation, RollbackRecord,
+    SchedulerMode,
 };
 pub use simulation::{Simulation, SimulationBuilder, StepReport};

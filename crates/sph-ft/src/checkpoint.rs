@@ -5,19 +5,66 @@
 //! store interface plus an in-memory tier (standing in for node-local
 //! RAM/NVMe — fast, lost on node failure) and a disk tier (standing in
 //! for the parallel file system — slow, survives everything).
+//!
+//! Snapshots carry the codec's own magic/version/checksum framing; raw
+//! blobs are *sealed* on save with an FNV-1a trailer that [`CheckpointStore::restore_blob`]
+//! verifies **before** handing bytes back — a corrupt manifest is
+//! reported as [`FtError::BlobCorrupted`] instead of failing late inside
+//! whatever deserializer consumes it.
 
-use crate::codec::{decode, encode, CodecError};
+use crate::codec::{decode, encode, fnv1a};
+use crate::error::FtError;
 use sph_core::particles::ParticleSystem;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::path::PathBuf;
 
+/// Which of a store's two namespaces an operation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoredKind {
+    /// A [`ParticleSystem`] snapshot (codec-framed).
+    Snapshot,
+    /// An opaque sealed blob (manifests, metadata).
+    Blob,
+}
+
+/// Seal raw bytes with an FNV-1a integrity trailer.
+fn seal_blob(bytes: &[u8]) -> Vec<u8> {
+    let mut sealed = Vec::with_capacity(bytes.len() + 8);
+    sealed.extend_from_slice(bytes);
+    sealed.extend_from_slice(&fnv1a(bytes).to_le_bytes());
+    sealed
+}
+
+/// Verify and strip a seal written by [`seal_blob`].
+fn unseal_blob(label: &str, sealed: &[u8]) -> Result<Vec<u8>, FtError> {
+    if sealed.len() < 8 {
+        return Err(FtError::BlobCorrupted {
+            label: label.to_string(),
+            detail: format!("{} bytes is too short to carry a checksum trailer", sealed.len()),
+        });
+    }
+    let (body, trailer) = sealed.split_at(sealed.len() - 8);
+    let stored = u64::from_le_bytes([
+        trailer[0], trailer[1], trailer[2], trailer[3], trailer[4], trailer[5], trailer[6],
+        trailer[7],
+    ]);
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(FtError::BlobCorrupted {
+            label: label.to_string(),
+            detail: format!("checksum trailer {stored:#018x} != computed {computed:#018x}"),
+        });
+    }
+    Ok(body.to_vec())
+}
+
 /// A place checkpoints can be written to and restored from.
 pub trait CheckpointStore {
     /// Persist a snapshot under `label`; returns the stored size in bytes.
-    fn save(&mut self, label: &str, sys: &ParticleSystem) -> Result<usize, String>;
+    fn save(&mut self, label: &str, sys: &ParticleSystem) -> Result<usize, FtError>;
     /// Restore the snapshot stored under `label`.
-    fn restore(&self, label: &str) -> Result<ParticleSystem, String>;
+    fn restore(&self, label: &str) -> Result<ParticleSystem, FtError>;
     /// Labels currently stored, sorted.
     fn labels(&self) -> Vec<String>;
     /// Drop a snapshot (e.g. when a simulated node failure wipes the tier).
@@ -31,13 +78,28 @@ pub trait CheckpointStore {
     /// separate namespace from snapshots and do not appear in
     /// [`CheckpointStore::labels`]. Stores may not support blobs; the
     /// default refuses.
-    fn save_blob(&mut self, _label: &str, _bytes: &[u8]) -> Result<usize, String> {
-        Err("this checkpoint store does not support raw blobs".to_string())
+    fn save_blob(&mut self, _label: &str, _bytes: &[u8]) -> Result<usize, FtError> {
+        Err(FtError::Unsupported { what: "raw blobs" })
     }
 
-    /// Restore a blob saved with [`CheckpointStore::save_blob`].
-    fn restore_blob(&self, label: &str) -> Result<Vec<u8>, String> {
-        Err(format!("no blob '{label}': this checkpoint store does not support raw blobs"))
+    /// Restore a blob saved with [`CheckpointStore::save_blob`]. The
+    /// integrity trailer is verified (and stripped) before any byte is
+    /// returned; corruption surfaces as [`FtError::BlobCorrupted`].
+    fn restore_blob(&self, _label: &str) -> Result<Vec<u8>, FtError> {
+        Err(FtError::Unsupported { what: "raw blobs" })
+    }
+
+    /// Fault-injection seam: mutate the *stored* bytes under `label` in
+    /// place (bit rot, truncation). Chaos tests use this to corrupt a
+    /// checkpoint after it was written and verified; production code has
+    /// no reason to call it. The default refuses.
+    fn corrupt_stored(
+        &mut self,
+        _label: &str,
+        _kind: StoredKind,
+        _mutate: &mut dyn FnMut(&mut Vec<u8>),
+    ) -> Result<(), FtError> {
+        Err(FtError::Unsupported { what: "stored-byte corruption" })
     }
 }
 
@@ -55,16 +117,19 @@ impl MemoryStore {
 }
 
 impl CheckpointStore for MemoryStore {
-    fn save(&mut self, label: &str, sys: &ParticleSystem) -> Result<usize, String> {
+    fn save(&mut self, label: &str, sys: &ParticleSystem) -> Result<usize, FtError> {
         let bytes = encode(sys);
         let size = bytes.len();
         self.snapshots.insert(label.to_string(), bytes);
         Ok(size)
     }
 
-    fn restore(&self, label: &str) -> Result<ParticleSystem, String> {
-        let bytes = self.snapshots.get(label).ok_or_else(|| format!("no checkpoint '{label}'"))?;
-        decode(bytes).map_err(|e: CodecError| e.to_string())
+    fn restore(&self, label: &str) -> Result<ParticleSystem, FtError> {
+        let bytes = self
+            .snapshots
+            .get(label)
+            .ok_or_else(|| FtError::MissingCheckpoint { label: label.to_string() })?;
+        decode(bytes).map_err(FtError::from)
     }
 
     fn labels(&self) -> Vec<String> {
@@ -81,13 +146,39 @@ impl CheckpointStore for MemoryStore {
         self.raw_blobs.clear();
     }
 
-    fn save_blob(&mut self, label: &str, bytes: &[u8]) -> Result<usize, String> {
-        self.raw_blobs.insert(label.to_string(), bytes.to_vec());
-        Ok(bytes.len())
+    fn save_blob(&mut self, label: &str, bytes: &[u8]) -> Result<usize, FtError> {
+        let sealed = seal_blob(bytes);
+        let size = sealed.len();
+        self.raw_blobs.insert(label.to_string(), sealed);
+        Ok(size)
     }
 
-    fn restore_blob(&self, label: &str) -> Result<Vec<u8>, String> {
-        self.raw_blobs.get(label).cloned().ok_or_else(|| format!("no blob '{label}'"))
+    fn restore_blob(&self, label: &str) -> Result<Vec<u8>, FtError> {
+        let sealed = self
+            .raw_blobs
+            .get(label)
+            .ok_or_else(|| FtError::MissingBlob { label: label.to_string() })?;
+        unseal_blob(label, sealed)
+    }
+
+    fn corrupt_stored(
+        &mut self,
+        label: &str,
+        kind: StoredKind,
+        mutate: &mut dyn FnMut(&mut Vec<u8>),
+    ) -> Result<(), FtError> {
+        let entry = match kind {
+            StoredKind::Snapshot => self
+                .snapshots
+                .get_mut(label)
+                .ok_or_else(|| FtError::MissingCheckpoint { label: label.to_string() })?,
+            StoredKind::Blob => self
+                .raw_blobs
+                .get_mut(label)
+                .ok_or_else(|| FtError::MissingBlob { label: label.to_string() })?,
+        };
+        mutate(entry);
+        Ok(())
     }
 }
 
@@ -99,9 +190,10 @@ pub struct DiskStore {
 
 impl DiskStore {
     /// Store checkpoints under `dir` (created if missing).
-    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, String> {
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, FtError> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| FtError::Io { label: dir.display().to_string(), detail: e.to_string() })?;
         Ok(DiskStore { dir })
     }
 
@@ -117,31 +209,45 @@ impl DiskStore {
     fn blob_path_of(&self, label: &str) -> PathBuf {
         self.path_of(label).with_extension("sphblob")
     }
-}
 
-impl CheckpointStore for DiskStore {
-    fn save(&mut self, label: &str, sys: &ParticleSystem) -> Result<usize, String> {
-        let bytes = encode(sys);
-        let path = self.path_of(label);
+    fn write_atomic(path: &PathBuf, bytes: &[u8], label: &str) -> Result<(), FtError> {
+        let io_err =
+            |e: std::io::Error| FtError::Io { label: label.to_string(), detail: e.to_string() };
         let tmp = path.with_extension("tmp");
         // Write-then-rename: a crash mid-write never corrupts the previous
         // checkpoint — the property multilevel recovery depends on.
         {
-            let mut f = std::fs::File::create(&tmp).map_err(|e| e.to_string())?;
-            f.write_all(&bytes).map_err(|e| e.to_string())?;
-            f.sync_all().map_err(|e| e.to_string())?;
+            let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
+            f.write_all(bytes).map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
         }
-        std::fs::rename(&tmp, &path).map_err(|e| e.to_string())?;
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    fn read_all(path: &PathBuf, missing: FtError, label: &str) -> Result<Vec<u8>, FtError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)
+            .map_err(|_| missing)?
+            .read_to_end(&mut bytes)
+            .map_err(|e| FtError::Io { label: label.to_string(), detail: e.to_string() })?;
+        Ok(bytes)
+    }
+}
+
+impl CheckpointStore for DiskStore {
+    fn save(&mut self, label: &str, sys: &ParticleSystem) -> Result<usize, FtError> {
+        let bytes = encode(sys);
+        Self::write_atomic(&self.path_of(label), &bytes, label)?;
         Ok(bytes.len())
     }
 
-    fn restore(&self, label: &str) -> Result<ParticleSystem, String> {
-        let mut bytes = Vec::new();
-        std::fs::File::open(self.path_of(label))
-            .map_err(|e| format!("no checkpoint '{label}': {e}"))?
-            .read_to_end(&mut bytes)
-            .map_err(|e| e.to_string())?;
-        decode(&bytes).map_err(|e| e.to_string())
+    fn restore(&self, label: &str) -> Result<ParticleSystem, FtError> {
+        let bytes = Self::read_all(
+            &self.path_of(label),
+            FtError::MissingCheckpoint { label: label.to_string() },
+            label,
+        )?;
+        decode(&bytes).map_err(FtError::from)
     }
 
     fn labels(&self) -> Vec<String> {
@@ -178,25 +284,40 @@ impl CheckpointStore for DiskStore {
         }
     }
 
-    fn save_blob(&mut self, label: &str, bytes: &[u8]) -> Result<usize, String> {
-        let path = self.blob_path_of(label);
-        let tmp = path.with_extension("tmp");
-        {
-            let mut f = std::fs::File::create(&tmp).map_err(|e| e.to_string())?;
-            f.write_all(bytes).map_err(|e| e.to_string())?;
-            f.sync_all().map_err(|e| e.to_string())?;
-        }
-        std::fs::rename(&tmp, &path).map_err(|e| e.to_string())?;
-        Ok(bytes.len())
+    fn save_blob(&mut self, label: &str, bytes: &[u8]) -> Result<usize, FtError> {
+        let sealed = seal_blob(bytes);
+        Self::write_atomic(&self.blob_path_of(label), &sealed, label)?;
+        Ok(sealed.len())
     }
 
-    fn restore_blob(&self, label: &str) -> Result<Vec<u8>, String> {
-        let mut bytes = Vec::new();
-        std::fs::File::open(self.blob_path_of(label))
-            .map_err(|e| format!("no blob '{label}': {e}"))?
-            .read_to_end(&mut bytes)
-            .map_err(|e| e.to_string())?;
-        Ok(bytes)
+    fn restore_blob(&self, label: &str) -> Result<Vec<u8>, FtError> {
+        let sealed = Self::read_all(
+            &self.blob_path_of(label),
+            FtError::MissingBlob { label: label.to_string() },
+            label,
+        )?;
+        unseal_blob(label, &sealed)
+    }
+
+    fn corrupt_stored(
+        &mut self,
+        label: &str,
+        kind: StoredKind,
+        mutate: &mut dyn FnMut(&mut Vec<u8>),
+    ) -> Result<(), FtError> {
+        let (path, missing) = match kind {
+            StoredKind::Snapshot => {
+                (self.path_of(label), FtError::MissingCheckpoint { label: label.to_string() })
+            }
+            StoredKind::Blob => {
+                (self.blob_path_of(label), FtError::MissingBlob { label: label.to_string() })
+            }
+        };
+        let mut bytes = Self::read_all(&path, missing, label)?;
+        mutate(&mut bytes);
+        // Deliberately *not* atomic: this simulates in-place bit rot.
+        std::fs::write(&path, &bytes)
+            .map_err(|e| FtError::Io { label: label.to_string(), detail: e.to_string() })
     }
 }
 
@@ -228,11 +349,52 @@ mod tests {
         assert_eq!(back.time, 2.0);
         let back = store.restore("step-10").unwrap();
         assert_eq!(back.time, 1.0);
-        assert!(store.restore("missing").is_err());
+        assert!(matches!(
+            store.restore("missing"),
+            Err(FtError::MissingCheckpoint { label }) if label == "missing"
+        ));
         store.invalidate("step-10");
         assert!(store.restore("step-10").is_err());
         store.invalidate_all();
         assert!(store.labels().is_empty());
+    }
+
+    fn exercise_blobs(store: &mut dyn CheckpointStore) {
+        let payload = b"manifest bytes".to_vec();
+        store.save_blob("m", &payload).unwrap();
+        assert_eq!(store.restore_blob("m").unwrap(), payload);
+        assert!(matches!(
+            store.restore_blob("absent"),
+            Err(FtError::MissingBlob { label }) if label == "absent"
+        ));
+
+        // Bit rot in the body is caught by the trailer, before decode.
+        store
+            .corrupt_stored("m", StoredKind::Blob, &mut |bytes: &mut Vec<u8>| {
+                bytes[3] ^= 0x40;
+            })
+            .unwrap();
+        assert!(matches!(store.restore_blob("m"), Err(FtError::BlobCorrupted { .. })));
+
+        // Truncation below the trailer size is also a typed corruption.
+        store.save_blob("m", &payload).unwrap();
+        store
+            .corrupt_stored("m", StoredKind::Blob, &mut |bytes: &mut Vec<u8>| {
+                bytes.truncate(4);
+            })
+            .unwrap();
+        assert!(matches!(store.restore_blob("m"), Err(FtError::BlobCorrupted { .. })));
+
+        // Snapshot corruption surfaces through the codec's own framing.
+        store.save("snap", &sample(3.0)).unwrap();
+        store
+            .corrupt_stored("snap", StoredKind::Snapshot, &mut |bytes: &mut Vec<u8>| {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x01;
+            })
+            .unwrap();
+        assert!(matches!(store.restore("snap"), Err(FtError::Codec(_))));
+        store.invalidate_all();
     }
 
     #[test]
@@ -241,11 +403,25 @@ mod tests {
     }
 
     #[test]
+    fn memory_store_blob_seal() {
+        exercise_blobs(&mut MemoryStore::new());
+    }
+
+    #[test]
     fn disk_store_contract() {
         let dir = std::env::temp_dir().join(format!("sphft-test-{}", std::process::id()));
         let mut store = DiskStore::new(&dir).unwrap();
         store.invalidate_all();
         exercise_store(&mut store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_blob_seal() {
+        let dir = std::env::temp_dir().join(format!("sphft-test4-{}", std::process::id()));
+        let mut store = DiskStore::new(&dir).unwrap();
+        store.invalidate_all();
+        exercise_blobs(&mut store);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -267,5 +443,30 @@ mod tests {
         store.save("weird/label name", &sample(1.0)).unwrap();
         assert_eq!(store.restore("weird/label name").unwrap().time, 1.0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn default_store_refuses_blobs_with_typed_error() {
+        struct Minimal;
+        impl CheckpointStore for Minimal {
+            fn save(&mut self, _: &str, _: &ParticleSystem) -> Result<usize, FtError> {
+                Ok(0)
+            }
+            fn restore(&self, label: &str) -> Result<ParticleSystem, FtError> {
+                Err(FtError::MissingCheckpoint { label: label.to_string() })
+            }
+            fn labels(&self) -> Vec<String> {
+                Vec::new()
+            }
+            fn invalidate(&mut self, _: &str) {}
+            fn invalidate_all(&mut self) {}
+        }
+        let mut s = Minimal;
+        assert!(matches!(s.save_blob("x", b"y"), Err(FtError::Unsupported { .. })));
+        assert!(matches!(s.restore_blob("x"), Err(FtError::Unsupported { .. })));
+        assert!(matches!(
+            s.corrupt_stored("x", StoredKind::Blob, &mut |_| {}),
+            Err(FtError::Unsupported { .. })
+        ));
     }
 }

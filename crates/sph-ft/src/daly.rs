@@ -92,4 +92,74 @@ mod tests {
             assert!((0.0..1.0).contains(&f), "waste {f}");
         }
     }
+
+    // --- edge cases: the formulas must reject nonsense loudly, not
+    // return a quietly wrong interval ---
+
+    #[test]
+    #[should_panic]
+    fn young_rejects_zero_mtbf() {
+        young_interval(10.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn young_rejects_zero_cost() {
+        young_interval(0.0, 1e4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn daly_rejects_negative_mtbf() {
+        daly_interval(10.0, -5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn daly_rejects_nonpositive_cost() {
+        daly_interval(0.0, 1e4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn waste_rejects_zero_work_interval() {
+        expected_waste(0.0, 10.0, 10.0, 1e4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn waste_rejects_negative_recovery_cost() {
+        expected_waste(100.0, 10.0, -1.0, 1e4);
+    }
+
+    #[test]
+    fn daly_degenerate_boundary_is_continuous_in_regime_choice() {
+        // Exactly C = 2M sits in the degenerate branch: interval = MTBF.
+        let m = 50.0;
+        assert_eq!(daly_interval(2.0 * m, m), m);
+        // Just below the boundary the refined formula applies and stays
+        // positive and finite.
+        let below = daly_interval(2.0 * m - 1e-9, m);
+        assert!(below.is_finite() && below > 0.0, "interval {below}");
+    }
+
+    #[test]
+    fn waste_increases_monotonically_away_from_the_optimum() {
+        // Walk both directions from w*: each doubling away from the
+        // optimum must cost at least as much as the previous point.
+        let (c, r, m) = (30.0, 60.0, 20_000.0);
+        let w_opt = daly_interval(c, m);
+        let mut prev = expected_waste(w_opt, c, r, m);
+        for k in 1..=4 {
+            let next = expected_waste(w_opt * f64::powi(2.0, k), c, r, m);
+            assert!(next >= prev, "waste fell moving away from optimum: {prev} → {next}");
+            prev = next;
+        }
+        let mut prev = expected_waste(w_opt, c, r, m);
+        for k in 1..=4 {
+            let next = expected_waste(w_opt / f64::powi(2.0, k), c, r, m);
+            assert!(next >= prev, "waste fell moving away from optimum: {prev} → {next}");
+            prev = next;
+        }
+    }
 }

@@ -16,20 +16,30 @@
 //! * [`sdc`] — silent-data-corruption injection and three detectors
 //!   (checksum, physics bounds, conservation drift) plus an ABFT-style
 //!   redundant reduction;
-//! * [`replication`] — selective (sampled) duplicate evaluation.
+//! * [`replication`] — selective (sampled) duplicate evaluation;
+//! * [`chaos`] — deterministic seeded fault plans and the fault-injecting
+//!   [`Exchange`](sph_domain::Exchange) wrapper the chaos suite drives;
+//! * [`error`] — the typed [`FtError`] all of the above report with.
 
+pub mod chaos;
 pub mod checkpoint;
 pub mod codec;
 pub mod daly;
+pub mod error;
 pub mod multilevel;
 pub mod replication;
 pub mod scheduler;
 pub mod sdc;
 
-pub use checkpoint::{CheckpointStore, DiskStore, MemoryStore};
+pub use chaos::{CorruptionMode, FaultEvent, FaultKind, FaultPlan, FaultyExchange};
+pub use checkpoint::{CheckpointStore, DiskStore, MemoryStore, StoredKind};
 pub use daly::{daly_interval, expected_waste};
+pub use error::FtError;
 pub use multilevel::{
     simulate_run, CheckpointLevel, FailureInjector, MultilevelConfig, RunOutcome,
 };
 pub use scheduler::CheckpointScheduler;
-pub use sdc::{ChecksumDetector, SdcDetector, SdcInjector};
+pub use sdc::{
+    ChecksumDetector, ConservationDetector, FaultField, InjectedFault, PhysicsBoundsDetector,
+    SdcDetector, SdcInjector, Verdict,
+};

@@ -133,6 +133,65 @@ mod tests {
         assert_eq!(sched.expected_checkpoints(1_000.0), 5.0);
     }
 
+    // --- edge cases: invalid machine parameters must be rejected at
+    // construction or observation time, never folded into the cadence ---
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_mtbf() {
+        CheckpointScheduler::new(0.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_mtbf() {
+        CheckpointScheduler::new(-100.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_write_cost_guess() {
+        CheckpointScheduler::new(10_000.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_step_time() {
+        let mut sched = CheckpointScheduler::new(10_000.0, 2.0);
+        sched.after_step(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_write_time() {
+        let mut sched = CheckpointScheduler::new(10_000.0, 2.0);
+        sched.after_checkpoint(-1.0);
+    }
+
+    #[test]
+    fn write_cost_exceeding_mtbf_still_makes_progress() {
+        // C ≥ 2M puts daly_interval in its degenerate regime (interval =
+        // MTBF); with steps slower than the MTBF, the one-step floor wins
+        // and the run checkpoints after every step instead of stalling.
+        let mut sched = CheckpointScheduler::new(10.0, 50.0);
+        assert_eq!(sched.current_interval(), 10.0);
+        assert!(sched.after_step(30.0), "one slow step must trigger a checkpoint");
+        sched.after_checkpoint(50.0);
+        assert!(sched.current_interval() >= 30.0, "floor must track the measured step");
+        assert!(sched.after_step(30.0));
+    }
+
+    #[test]
+    fn zero_step_time_never_divides_the_cadence() {
+        // Instant steps (cached/no-op) accumulate no work; the scheduler
+        // must neither trigger nor corrupt its interval estimate.
+        let mut sched = CheckpointScheduler::new(10_000.0, 2.0);
+        for _ in 0..100 {
+            assert!(!sched.after_step(0.0));
+        }
+        assert!(sched.current_interval().is_finite());
+    }
+
     #[test]
     fn no_immediate_checkpoint_after_reset() {
         let mut sched = CheckpointScheduler::new(10_000.0, 2.0);

@@ -16,9 +16,11 @@
 //!    the reduction step itself).
 
 use crate::codec::state_checksum;
+use crate::error::FtError;
 use sph_core::diagnostics::Conservation;
 use sph_core::particles::ParticleSystem;
 use sph_math::{kahan_sum, SplitMix64};
+use std::fmt;
 
 /// A detector's verdict.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -141,7 +143,7 @@ impl SdcDetector for ConservationDetector {
 /// different summation orders/algorithms and flags disagreement beyond
 /// round-off. Detects corruption *during the reduction itself* (e.g. a
 /// flipped register), which state checksums cannot see.
-pub fn abft_redundant_sum(values: &[f64], rel_tolerance: f64) -> Result<f64, String> {
+pub fn abft_redundant_sum(values: &[f64], rel_tolerance: f64) -> Result<f64, FtError> {
     assert!(rel_tolerance > 0.0);
     let forward = kahan_sum(values);
     let backward: f64 = {
@@ -151,9 +153,71 @@ pub fn abft_redundant_sum(values: &[f64], rel_tolerance: f64) -> Result<f64, Str
     };
     let scale = values.iter().map(|v| v.abs()).sum::<f64>().max(1e-300);
     if (forward - backward).abs() / scale > rel_tolerance {
-        Err(format!("redundant sums disagree: {forward} vs {backward}"))
+        Err(FtError::RedundantSumMismatch { forward, backward })
     } else {
         Ok(forward)
+    }
+}
+
+/// Which particle field an injected fault landed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultField {
+    Position,
+    Velocity,
+    Mass,
+    InternalEnergy,
+    SmoothingLength,
+}
+
+impl FaultField {
+    /// The field's short name as it appears in `ParticleSystem` (`x`,
+    /// `v`, `m`, `u`, `h`).
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            FaultField::Position => "x",
+            FaultField::Velocity => "v",
+            FaultField::Mass => "m",
+            FaultField::InternalEnergy => "u",
+            FaultField::SmoothingLength => "h",
+        }
+    }
+}
+
+/// A structured record of one injected bit flip — enough for a chaos
+/// suite to assert that a detector caught *this* fault (and to undo or
+/// re-apply it exactly), where a prose description could only show that
+/// *some* fault fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Index of the particle hit (global index of the system injected into).
+    pub particle: usize,
+    /// Field the flip landed in.
+    pub field: FaultField,
+    /// Vector component for `Position`/`Velocity` (0..3); 0 for scalars.
+    pub component: u8,
+    /// Which bit of the f64 was flipped (0 = LSB of the mantissa).
+    pub bit: u32,
+    /// Field bits before the flip.
+    pub old_bits: u64,
+    /// Field bits after the flip (`old_bits ^ (1 << bit)`).
+    pub new_bits: u64,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.field {
+            FaultField::Position | FaultField::Velocity => {
+                write!(
+                    f,
+                    "{}[{}].{} bit {}",
+                    self.field.symbol(),
+                    self.particle,
+                    self.component,
+                    self.bit
+                )
+            }
+            _ => write!(f, "{}[{}] bit {}", self.field.symbol(), self.particle, self.bit),
+        }
     }
 }
 
@@ -169,37 +233,49 @@ impl SdcInjector {
         SdcInjector { rng: SplitMix64::new(SplitMix64::new(seed).derive("sdc-injector")) }
     }
 
-    /// Flip one bit; returns a description of what was hit.
-    pub fn inject(&mut self, sys: &mut ParticleSystem) -> String {
+    /// Flip one bit; returns a structured record of exactly what was hit.
+    pub fn inject(&mut self, sys: &mut ParticleSystem) -> InjectedFault {
+        assert!(!sys.is_empty(), "cannot inject into an empty system");
         let i = self.rng.next_below(sys.len() as u64) as usize;
         let field = self.rng.next_below(5);
         let bit = self.rng.next_below(64) as u32;
-        let flip = |v: f64, bit: u32| f64::from_bits(v.to_bits() ^ (1u64 << bit));
-        match field {
+        let flip = |v: f64| f64::from_bits(v.to_bits() ^ (1u64 << bit));
+        let (field, component, old) = match field {
             0 => {
                 let axis = self.rng.next_below(3) as usize;
                 let v = sys.x[i].component(axis);
-                *sys.x[i].component_mut(axis) = flip(v, bit);
-                format!("x[{i}].{axis} bit {bit}")
+                *sys.x[i].component_mut(axis) = flip(v);
+                (FaultField::Position, axis as u8, v)
             }
             1 => {
                 let axis = self.rng.next_below(3) as usize;
                 let v = sys.v[i].component(axis);
-                *sys.v[i].component_mut(axis) = flip(v, bit);
-                format!("v[{i}].{axis} bit {bit}")
+                *sys.v[i].component_mut(axis) = flip(v);
+                (FaultField::Velocity, axis as u8, v)
             }
             2 => {
-                sys.m[i] = flip(sys.m[i], bit);
-                format!("m[{i}] bit {bit}")
+                let v = sys.m[i];
+                sys.m[i] = flip(v);
+                (FaultField::Mass, 0, v)
             }
             3 => {
-                sys.u[i] = flip(sys.u[i], bit);
-                format!("u[{i}] bit {bit}")
+                let v = sys.u[i];
+                sys.u[i] = flip(v);
+                (FaultField::InternalEnergy, 0, v)
             }
             _ => {
-                sys.h[i] = flip(sys.h[i], bit);
-                format!("h[{i}] bit {bit}")
+                let v = sys.h[i];
+                sys.h[i] = flip(v);
+                (FaultField::SmoothingLength, 0, v)
             }
+        };
+        InjectedFault {
+            particle: i,
+            field,
+            component,
+            bit,
+            old_bits: old.to_bits(),
+            new_bits: flip(old).to_bits(),
         }
     }
 }
@@ -307,8 +383,33 @@ mod tests {
         // Different fields get hit across many injections.
         let mut inj = SdcInjector::new(10);
         let mut sys = sample();
-        let kinds: std::collections::BTreeSet<char> =
-            (0..40).map(|_| inj.inject(&mut sys).chars().next().unwrap()).collect();
+        let kinds: std::collections::BTreeSet<&'static str> =
+            (0..40).map(|_| inj.inject(&mut sys).field.symbol()).collect();
         assert!(kinds.len() >= 3, "kinds hit: {kinds:?}");
+    }
+
+    #[test]
+    fn injected_fault_record_is_faithful() {
+        let mut sys = sample();
+        let before = sys.clone();
+        let fault = SdcInjector::new(3).inject(&mut sys);
+        // The record's old/new bits must match the actual state mutation.
+        let read = |s: &ParticleSystem| -> u64 {
+            let i = fault.particle;
+            match fault.field {
+                FaultField::Position => s.x[i].component(fault.component as usize).to_bits(),
+                FaultField::Velocity => s.v[i].component(fault.component as usize).to_bits(),
+                FaultField::Mass => s.m[i].to_bits(),
+                FaultField::InternalEnergy => s.u[i].to_bits(),
+                FaultField::SmoothingLength => s.h[i].to_bits(),
+            }
+        };
+        assert_eq!(read(&before), fault.old_bits);
+        assert_eq!(read(&sys), fault.new_bits);
+        assert_eq!(fault.old_bits ^ fault.new_bits, 1u64 << fault.bit);
+        // Display names the field and particle for human logs.
+        let shown = fault.to_string();
+        assert!(shown.contains(&format!("[{}]", fault.particle)), "{shown}");
+        assert!(shown.contains(&format!("bit {}", fault.bit)), "{shown}");
     }
 }

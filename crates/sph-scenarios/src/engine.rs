@@ -38,7 +38,6 @@
 use sph_core::config::SphConfig;
 use sph_core::diagnostics::Conservation;
 use sph_core::particles::ParticleSystem;
-use sph_core::timestep::TimeStepError;
 use sph_exa::{DistributedBuilder, DistributedConfig, SimulationBuilder};
 use sph_math::Vec3;
 use sph_tree::GravityConfig;
@@ -309,15 +308,18 @@ impl ScenarioRun {
 /// (an asymmetry there would be indistinguishable from a determinism
 /// bug in the bit-identity tests).
 trait Drivable {
-    fn step_once(&mut self) -> Result<(), TimeStepError>;
+    /// One macro step; errors surface as the driver's own rendered
+    /// message (`TimeStepError` single-rank, `DistributedError` — which
+    /// wraps time-step, exchange and storage faults — distributed).
+    fn step_once(&mut self) -> Result<(), String>;
     fn conservation(&self) -> Conservation;
     fn sys(&self) -> &ParticleSystem;
     fn into_state(self) -> (ParticleSystem, Vec<f64>);
 }
 
 impl Drivable for sph_exa::Simulation {
-    fn step_once(&mut self) -> Result<(), TimeStepError> {
-        self.step().map(|_| ())
+    fn step_once(&mut self) -> Result<(), String> {
+        self.step().map(|_| ()).map_err(|e| e.to_string())
     }
     fn conservation(&self) -> Conservation {
         self.conservation()
@@ -331,8 +333,8 @@ impl Drivable for sph_exa::Simulation {
 }
 
 impl Drivable for sph_exa::DistributedSimulation {
-    fn step_once(&mut self) -> Result<(), TimeStepError> {
-        self.step().map(|_| ())
+    fn step_once(&mut self) -> Result<(), String> {
+        self.step().map(|_| ()).map_err(String::from)
     }
     fn conservation(&self) -> Conservation {
         self.conservation()
@@ -391,7 +393,7 @@ fn drive<S: Drivable>(
     let mut initial: Option<Conservation> = None;
     let mut steps = 0u64;
     while sim.sys().time < end_time && steps < opts.max_steps as u64 {
-        sim.step_once().map_err(|e| e.to_string())?;
+        sim.step_once()?;
         steps += 1;
         if initial.is_none() {
             initial = Some(sim.conservation());

@@ -136,6 +136,7 @@ fn rebalancing_with_measured_work_keeps_bits_and_balance() {
             partitioner: RankPartitioner::Orb,
             rebalance_every: 3,
             halo_growth_steps: 1,
+            ..Default::default()
         })
         .build()
         .unwrap();
