@@ -455,6 +455,49 @@ impl<T> SendPtr<T> {
     }
 }
 
+/// Debug-build sanitizer backing the `SendPtr` SAFETY contract: before
+/// writing through the shared pointer, every task registers the half-open
+/// index range it is about to touch, and any overlap with a previously
+/// claimed range panics immediately instead of silently racing. Release
+/// builds compile this to a zero-sized no-op.
+struct DisjointClaims {
+    #[cfg(debug_assertions)]
+    claimed: Mutex<Vec<(usize, usize)>>,
+}
+
+impl DisjointClaims {
+    fn new() -> Self {
+        DisjointClaims {
+            #[cfg(debug_assertions)]
+            claimed: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Claim `[start, end)` for exclusive writes. Panics (debug builds
+    /// only) when the range intersects one already claimed this level.
+    #[allow(unused_variables)]
+    fn claim(&self, start: usize, end: usize) {
+        #[cfg(debug_assertions)]
+        {
+            let mut claimed = self.claimed.lock().unwrap_or_else(|e| e.into_inner());
+            for &(s, e) in claimed.iter() {
+                assert!(
+                    end <= s || e <= start,
+                    "SendPtr range overlap: task claims [{start}, {end}) but [{s}, {e}) is \
+                     already claimed — the chunk split is not disjoint"
+                );
+            }
+            claimed.push((start, end));
+        }
+    }
+
+    /// Forget all claims — the next merge level reuses the same buffers.
+    fn reset(&self) {
+        #[cfg(debug_assertions)]
+        self.claimed.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
 /// Merge the sorted runs `src[..mid]` and `src[mid..]` into `dst`, taking
 /// the left run on ties (stable ⇒ deterministic permutation).
 ///
@@ -519,6 +562,7 @@ where
 
     let mut width = SORT_CHUNK;
     let mut data_in_v = true;
+    let claims = DisjointClaims::new();
     while width < n {
         let (src_root, dst_root) =
             if data_in_v { (v_ptr, scratch_ptr) } else { (scratch_ptr, v_ptr) };
@@ -529,6 +573,9 @@ where
             let start = p * 2 * width;
             let end = n.min(start + 2 * width);
             let mid = width.min(end - start);
+            // Debug builds verify the SAFETY contract the comment below
+            // asserts: no two tasks may write overlapping dst ranges.
+            claims.claim(start, end);
             // SAFETY: each task owns the disjoint range [start, end) of both
             // buffers; src holds initialised (sorted-run) elements from the
             // previous level; dst is valid for writes; T has no drop glue.
@@ -538,6 +585,7 @@ where
                 merge_runs(src, mid, dst_token.get().add(start), &cmp);
             }
         });
+        claims.reset();
         data_in_v = !data_in_v;
         width *= 2;
     }
@@ -729,6 +777,37 @@ mod tests {
         reference.sort_unstable_by(|a, b| b.cmp(a));
         v.par_sort_unstable_by(|a, b| b.cmp(a));
         assert_eq!(v, reference);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "SendPtr range overlap")]
+    fn overlapping_chunk_split_panics() {
+        // Simulate a buggy merge-level split: stride `width` but task size
+        // `2 * width`, so consecutive tasks overlap by half. The sanitizer
+        // must catch the first overlapping claim.
+        let claims = super::DisjointClaims::new();
+        let (n, width) = (4 * super::SORT_CHUNK, super::SORT_CHUNK);
+        for p in 0..3 {
+            let start = p * width; // BUG: should stride by 2 * width
+            let end = n.min(start + 2 * width);
+            claims.claim(start, end);
+        }
+    }
+
+    #[test]
+    fn disjoint_claims_pass_and_reset_reopens_ranges() {
+        // The correct level split — disjoint pair ranges — must not trip
+        // the sanitizer, and reset() must allow the next level to claim
+        // the same indices again.
+        let claims = super::DisjointClaims::new();
+        let (n, width) = (5 * super::SORT_CHUNK, super::SORT_CHUNK);
+        for p in 0..n.div_ceil(2 * width) {
+            let start = p * 2 * width;
+            claims.claim(start, n.min(start + 2 * width));
+        }
+        claims.reset();
+        claims.claim(0, n); // whole buffer, legal again after reset
     }
 
     #[test]

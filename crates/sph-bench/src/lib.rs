@@ -39,16 +39,21 @@ impl ExperimentScale {
     /// `SPH_EXA_FULL=1` selects paper scale; `SPH_EXA_PARTICLES`,
     /// `SPH_EXA_STEPS` override individual knobs.
     pub fn from_env() -> Self {
+        // sph-lint: allow(env-determinism) — experiment-scale knob, read
+        // once by the bench harness before any physics; the chosen scale
+        // is stamped into the result header, never into a trajectory.
         let mut scale = if std::env::var("SPH_EXA_FULL").as_deref() == Ok("1") {
             Self::paper()
         } else {
             Self::ci()
         };
+        // sph-lint: allow(env-determinism) — same scale knob as above.
         if let Ok(n) = std::env::var("SPH_EXA_PARTICLES") {
             if let Ok(n) = n.parse() {
                 scale.particles = n;
             }
         }
+        // sph-lint: allow(env-determinism) — same scale knob as above.
         if let Ok(s) = std::env::var("SPH_EXA_STEPS") {
             if let Ok(s) = s.parse() {
                 scale.steps = s;

@@ -39,12 +39,15 @@ pub fn compute_volume_elements(
         VolumeElements::Generalized { p } => {
             // X from the *pre-update* density for every particle (neighbour
             // X values are needed, so evaluate globally — cheap, O(n)).
-            let x_est: Vec<f64> = sys
-                .m
-                .iter()
-                .zip(&sys.rho)
-                .map(|(&m, &rho)| if rho > 0.0 { (m / rho).powf(p) } else { 1.0 })
-                .collect();
+            // Pre-sized: one deliberate allocation, no grow cycle.
+            let mut x_est: Vec<f64> = Vec::with_capacity(sys.m.len());
+            x_est.extend(sys.m.iter().zip(&sys.rho).map(|(&m, &rho)| {
+                if rho > 0.0 {
+                    (m / rho).powf(p)
+                } else {
+                    1.0
+                }
+            }));
             let chunks: Vec<Vec<f64>> = active
                 .par_chunks(REDUCE_CHUNK)
                 .enumerate()

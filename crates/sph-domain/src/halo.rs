@@ -92,7 +92,7 @@ pub struct HaloExchange {
 impl HaloExchange {
     /// Total imported particles across ranks (total message payload).
     pub fn total_volume(&self) -> usize {
-        self.imports.iter().map(|v| v.len()).sum()
+        self.imports.iter().map(|v| v.len()).sum::<usize>()
     }
 
     /// Number of neighbouring-rank pairs that actually exchange data.

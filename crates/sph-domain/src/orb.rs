@@ -7,7 +7,7 @@
 //! counts are handled by splitting proportionally (⌈P/2⌉ : ⌊P/2⌋).
 
 use crate::Decomposition;
-use sph_math::{Aabb, Vec3};
+use sph_math::{Aabb, KahanAccumulator, Vec3};
 
 /// Partition into `nparts` subdomains by recursive bisection.
 ///
@@ -72,14 +72,20 @@ fn split(
     });
     let left_parts = nparts.div_ceil(2);
     let right_parts = nparts - left_parts;
-    let total: f64 = ids.iter().map(|&i| weight_of(weights, i)).sum();
+    // Compensated sums: the cut index is a threshold crossing, so it must
+    // not drift with summation noise as the subdomain grows.
+    let mut total_acc = KahanAccumulator::new();
+    for &i in ids.iter() {
+        total_acc.add(weight_of(weights, i));
+    }
+    let total = total_acc.total();
     let target_left = total * left_parts as f64 / nparts as f64;
 
-    let mut acc = 0.0;
+    let mut acc = KahanAccumulator::new();
     let mut cut = ids.len(); // fallback: everything left
     for (k, &i) in ids.iter().enumerate() {
-        acc += weight_of(weights, i);
-        if acc >= target_left {
+        acc.add(weight_of(weights, i));
+        if acc.total() >= target_left {
             cut = k + 1;
             break;
         }

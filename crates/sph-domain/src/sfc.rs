@@ -9,7 +9,7 @@
 
 use crate::hilbert;
 use crate::Decomposition;
-use sph_math::{Aabb, Vec3};
+use sph_math::{kahan_sum, Aabb, KahanAccumulator, Vec3};
 use sph_tree::morton;
 
 /// Which curve orders the particles.
@@ -49,22 +49,24 @@ pub fn sfc_partition(
     keyed.sort_unstable();
 
     let total_weight: f64 =
-        if weights.is_empty() { positions.len() as f64 } else { weights.iter().sum() };
+        if weights.is_empty() { positions.len() as f64 } else { kahan_sum(weights) };
     let target = total_weight / nparts as f64;
 
     let mut assignment = vec![0u32; positions.len()];
     let mut rank = 0u32;
-    let mut acc = 0.0;
+    // Compensated running weight: the cut positions depend on the partial
+    // sums, so they must not drift with summation noise as n grows.
+    let mut acc = KahanAccumulator::new();
     for &(_, i) in &keyed {
         let w = if weights.is_empty() { 1.0 } else { weights[i as usize] };
         // Close the chunk when its weight reaches the target, but never
         // run out of ranks for the remaining particles.
-        if acc + 0.5 * w > target && (rank as usize) < nparts - 1 {
+        if acc.total() + 0.5 * w > target && (rank as usize) < nparts - 1 {
             rank += 1;
-            acc = 0.0;
+            acc = KahanAccumulator::new();
         }
         assignment[i as usize] = rank;
-        acc += w;
+        acc.add(w);
     }
     Decomposition::new(assignment, nparts)
 }

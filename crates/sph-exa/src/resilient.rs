@@ -289,7 +289,7 @@ impl ResilientSimulation {
         let driver_events =
             driver_side.into_iter().map(|event| ArmedDriverEvent { event, spent: false }).collect();
         let high_watermark = sim.sys.step_count;
-        let mut generations = VecDeque::new();
+        let mut generations = VecDeque::with_capacity(rcfg.retention + 1);
         generations.push_back(Generation {
             label: gen0_label,
             step: sim.sys.step_count,

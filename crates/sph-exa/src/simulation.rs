@@ -336,6 +336,8 @@ impl Simulation {
                 let mut active_total = 0u64;
                 for s in 0..substeps {
                     let active = active_at_substep(&rungs, s, levels);
+                    // sph-lint: allow(reduce-taint) — u64 census of active
+                    // particles: exact integer arithmetic, order-free.
                     active_total += active.len() as u64;
                     // Kick each active particle by half its own rung step,
                     // drift everyone, re-evaluate, kick the other half —

@@ -136,6 +136,9 @@ impl KernelKind {
 
     /// All kinds the feature tables enumerate.
     pub fn all() -> Vec<KernelKind> {
+        // sph-lint: allow(hot-alloc) — kernel catalogue built once for
+        // feature tables; `Iterator::all(…)` on the hot path aliases this
+        // name in the conservative call graph, it is never called there.
         vec![
             KernelKind::CubicSplineM4,
             KernelKind::WendlandC2,

@@ -4,10 +4,23 @@
 //! The repo's core claim is that every trajectory is bit-identical across
 //! `SPH_THREADS` × nranks × neighbor backends. That contract used to live
 //! in reviewers' heads and a determinism test suite that can tell *that* a
-//! PR broke it but not *why*. This crate enforces it at the source level:
-//! a hand-rolled lexer ([`lexer`]) feeds a rule engine ([`rules`]) that
-//! walks every `crates/sph-*/src` file (plus the root facade, plus the
-//! shims for the `unsafe` rule) and reports contract violations.
+//! PR broke it but not *why*. This crate enforces it at the source level,
+//! in two layers:
+//!
+//! 1. **Token rules** (R1–R5): a hand-rolled lexer ([`lexer`]) feeds a
+//!    rule engine ([`rules`]) that matches contract violations per file.
+//! 2. **Call-graph rules** (R6–R8): a lightweight item parser ([`items`])
+//!    recovers `fn`/`impl`/`mod`/`use` structure, a workspace symbol
+//!    table and conservative call graph ([`graph`]) resolves calls by
+//!    name (over-approximating on ambiguity), and the [`semantic`] pass
+//!    asks reachability questions — is this allocation in a function
+//!    reachable from the kernel passes? — instead of trusting crate-name
+//!    whitelists.
+//!
+//! The sweep covers every `crates/*/src` file, the root facade `src/`,
+//! `examples/`, and `crates/*/benches` (binary contexts get the reduced
+//! rule set; shims answer only for the `unsafe` rule). [`report`] renders
+//! the `--json` schema and the ratchet baseline the CI gate diffs against.
 //!
 //! See [`rules`] for the rule catalogue and the inline-suppression syntax,
 //! and the README "Static analysis" section for the workflow. The
@@ -15,10 +28,16 @@
 //! tier-1 test `tests/workspace_clean.rs` are thin wrappers over
 //! [`lint_workspace`].
 
+pub mod graph;
+pub mod items;
 pub mod lexer;
+pub mod report;
 pub mod rules;
+pub mod semantic;
 
+pub use graph::{CallGraph, ParsedFile};
 pub use rules::{Diagnostic, FileContext, Rule};
+pub use semantic::{HOT_PATH_SEEDS, TRAJECTORY_STEP_TYPES};
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -72,11 +91,65 @@ impl fmt::Display for LintError {
 
 impl std::error::Error for LintError {}
 
-/// Lint a single source string under an explicit context. The unit used by
-/// the fixture tests and by [`lint_workspace`] per file.
+/// Lint a single source string under an explicit context with the
+/// token-level rules (R1–R5 plus the suppression meta rules). The
+/// call-graph rules need a workspace view — use [`lint_sources`].
 pub fn lint_source(src: &str, ctx: &FileContext) -> Vec<Diagnostic> {
     let tokens = lexer::lex(src);
     rules::lint_tokens(src, &tokens, ctx)
+}
+
+/// Lint a set of `(workspace-relative path, source)` pairs as one
+/// workspace: the full pipeline including the call graph and R6–R8.
+/// Paths [`context_for`] does not recognise are skipped. This is what
+/// [`lint_workspace`] runs after reading files, and what the semantic
+/// fixture tests drive directly.
+pub fn lint_sources(sources: Vec<(String, String)>) -> Vec<FileDiagnostic> {
+    let parsed: Vec<ParsedFile> = sources
+        .into_iter()
+        .filter_map(|(path, src)| {
+            let ctx = context_for(Path::new(&path))?;
+            Some(ParsedFile::parse(path, src, ctx))
+        })
+        .collect();
+    lint_parsed(&parsed)
+}
+
+/// The workspace pipeline over parsed files: call graph → semantic rules
+/// → per-file merge through suppression matching.
+fn lint_parsed(files: &[ParsedFile]) -> Vec<FileDiagnostic> {
+    let graph = CallGraph::build(files);
+    let semantic = semantic::check(files, &graph);
+    let mut out = Vec::new();
+    for (pf, extra) in files.iter().zip(semantic) {
+        let diags = rules::lint_tokens_merged(
+            &pf.src,
+            &pf.tokens,
+            &pf.code,
+            &pf.test_ranges,
+            &pf.ctx,
+            extra,
+        );
+        for diagnostic in diags {
+            let snippet = pf
+                .src
+                .lines()
+                .nth(diagnostic.line.saturating_sub(1) as usize)
+                .unwrap_or("")
+                .trim()
+                .to_string();
+            out.push(FileDiagnostic { path: pf.rel_path.clone(), diagnostic, snippet });
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.path.as_str(), a.diagnostic.line, a.diagnostic.col, a.diagnostic.rule).cmp(&(
+            b.path.as_str(),
+            b.diagnostic.line,
+            b.diagnostic.col,
+            b.diagnostic.rule,
+        ))
+    });
+    out
 }
 
 /// Classify a workspace-relative path into the [`FileContext`] that decides
@@ -97,10 +170,20 @@ pub fn context_for(rel_path: &Path) -> Option<FileContext> {
         ["crates", name, "src", ..] => {
             Some(FileContext { crate_name: (*name).to_string(), is_binary, is_shim: false })
         }
+        // Crate example/bench targets compile as their own binaries.
+        ["crates", name, "examples" | "benches", ..] => {
+            Some(FileContext { crate_name: (*name).to_string(), is_binary: true, is_shim: false })
+        }
         // The root facade crate's src/.
         ["src", ..] => {
             Some(FileContext { crate_name: "sph-exa-repro".to_string(), is_binary, is_shim: false })
         }
+        // Workspace-level examples run against the facade; binaries.
+        ["examples", ..] => Some(FileContext {
+            crate_name: "sph-exa-repro".to_string(),
+            is_binary: true,
+            is_shim: false,
+        }),
         _ => None,
     }
 }
@@ -119,29 +202,21 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<FileDiagnostic>, LintError> {
     }
     files.sort();
 
-    let mut out = Vec::new();
+    let mut parsed: Vec<ParsedFile> = Vec::new();
     for file in files {
         let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
         let Some(ctx) = context_for(&rel) else { continue };
         let src = std::fs::read_to_string(&file).map_err(|e| LintError::Io(file.clone(), e))?;
-        let rel_str = rel_str(&rel);
-        for diagnostic in lint_source(&src, &ctx) {
-            let snippet = src
-                .lines()
-                .nth(diagnostic.line.saturating_sub(1) as usize)
-                .unwrap_or("")
-                .trim()
-                .to_string();
-            out.push(FileDiagnostic { path: rel_str.clone(), diagnostic, snippet });
-        }
+        parsed.push(ParsedFile::parse(rel_str(&rel), src, ctx));
     }
-    Ok(out)
+    Ok(lint_parsed(&parsed))
 }
 
-/// The `src/` directories sph-lint walks: every `crates/*/src` (shims are
-/// nested one deeper) plus the root facade's `src/`.
+/// The directories sph-lint walks: every `crates/*/src` (shims are nested
+/// one deeper) plus each crate's `examples/` and `benches/`, plus the
+/// root facade's `src/` and the workspace-level `examples/`.
 fn crate_src_dirs(root: &Path) -> Result<Vec<PathBuf>, LintError> {
-    let mut dirs = vec![root.join("src")];
+    let mut dirs = vec![root.join("src"), root.join("examples")];
     let crates_dir = root.join("crates");
     for entry in read_dir_sorted(&crates_dir)? {
         if entry.file_name().to_string_lossy() == "shims" {
@@ -152,12 +227,15 @@ fn crate_src_dirs(root: &Path) -> Result<Vec<PathBuf>, LintError> {
                 }
             }
         } else {
-            let src = entry.path().join("src");
-            if src.is_dir() {
-                dirs.push(src);
+            for sub in ["src", "examples", "benches"] {
+                let dir = entry.path().join(sub);
+                if dir.is_dir() {
+                    dirs.push(dir);
+                }
             }
         }
     }
+    dirs.retain(|d| d.is_dir());
     Ok(dirs)
 }
 
@@ -210,6 +288,18 @@ mod tests {
 
         let facade = context_for(Path::new("src/lib.rs")).unwrap();
         assert_eq!(facade.crate_name, "sph-exa-repro");
+
+        let example = context_for(Path::new("examples/quickstart.rs")).unwrap();
+        assert!(example.is_binary && !example.is_shim);
+        assert_eq!(example.crate_name, "sph-exa-repro");
+
+        let bench =
+            context_for(Path::new("crates/sph-bench/benches/neighbor_pipeline.rs")).unwrap();
+        assert!(bench.is_binary && !bench.is_shim);
+        assert_eq!(bench.crate_name, "sph-bench");
+
+        let crate_example = context_for(Path::new("crates/sph-ft/examples/demo.rs")).unwrap();
+        assert!(crate_example.is_binary);
 
         assert!(context_for(Path::new("README.md")).is_none());
         assert!(context_for(Path::new("tests/determinism.rs")).is_none());

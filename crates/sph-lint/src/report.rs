@@ -1,0 +1,463 @@
+//! Machine-readable output: the `--json` report and the ratchet baseline.
+//!
+//! sph-lint keeps its zero-dependency contract (it must keep working when
+//! the workspace it checks is broken), so both the JSON writer and the
+//! minimal parser the baseline needs are hand-rolled here.
+//!
+//! # Report schema (`--json`)
+//!
+//! ```json
+//! {
+//!   "version": 2,
+//!   "rules":    [ { "id": "R6", "slug": "hot-alloc", "description": "…" }, … ],
+//!   "findings": [ { "path": "crates/sph-core/src/density.rs", "line": 41,
+//!                   "col": 9, "id": "R6", "slug": "hot-alloc",
+//!                   "message": "…", "snippet": "…" }, … ],
+//!   "total": 0
+//! }
+//! ```
+//!
+//! # Ratchet baseline (`lint_baseline.json`)
+//!
+//! A multiset of `{path, slug, snippet}` keys. Line numbers are deliberately
+//! absent: the baseline must survive unrelated edits above a finding. The
+//! gate logic ([`ratchet_diff`]) fails on any finding not covered by the
+//! baseline (regressions) and warns on baseline entries that no longer
+//! match (stale — ratchet the file down). The repo's committed baseline is
+//! **empty** and the CI gate keeps it that way; the mechanism exists so a
+//! future rule can land before its last finding is burned down, without
+//! going silent on new code.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::Rule;
+use crate::FileDiagnostic;
+
+/// Report schema version.
+pub const REPORT_VERSION: u64 = 2;
+
+/// Render the full `--json` report.
+pub fn render_report(diags: &[FileDiagnostic]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"version\": ");
+    let _ = write!(s, "{REPORT_VERSION}");
+    s.push_str(",\n  \"rules\": [\n");
+    for (i, rule) in Rule::ALL.into_iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{ \"id\": {}, \"slug\": {}, \"description\": {} }}",
+            json_str(rule.id()),
+            json_str(rule.slug()),
+            json_str(rule.describe())
+        );
+        s.push_str(if i + 1 < Rule::ALL.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"findings\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{ \"path\": {}, \"line\": {}, \"col\": {}, \"id\": {}, \"slug\": {}, \
+             \"message\": {}, \"snippet\": {} }}",
+            json_str(&d.path),
+            d.diagnostic.line,
+            d.diagnostic.col,
+            json_str(d.diagnostic.rule.id()),
+            json_str(d.diagnostic.rule.slug()),
+            json_str(&d.diagnostic.message),
+            json_str(&d.snippet)
+        );
+        s.push_str(if i + 1 < diags.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(s, "  ],\n  \"total\": {}\n}}\n", diags.len());
+    s
+}
+
+/// Render the current findings as a baseline file (`--write-baseline`).
+pub fn render_baseline(diags: &[FileDiagnostic]) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{{\n  \"version\": {REPORT_VERSION},\n  \"entries\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{ \"path\": {}, \"slug\": {}, \"snippet\": {} }}",
+            json_str(&d.path),
+            json_str(d.diagnostic.rule.slug()),
+            json_str(d.snippet.trim())
+        );
+        s.push_str(if i + 1 < diags.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// One grandfathered finding: `(path, rule slug, trimmed snippet)`.
+pub type BaselineKey = (String, String, String);
+
+/// The parsed ratchet baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub entries: Vec<BaselineKey>,
+}
+
+impl Baseline {
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Parse a baseline file. Errors carry a byte offset for context.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = parse_json(text)?;
+        let obj = value.as_obj().ok_or("baseline: top level must be an object")?;
+        let mut entries = Vec::new();
+        let Some(list) = obj.iter().find(|(k, _)| k == "entries").map(|(_, v)| v) else {
+            return Ok(Baseline { entries });
+        };
+        let arr = list.as_arr().ok_or("baseline: \"entries\" must be an array")?;
+        for (i, e) in arr.iter().enumerate() {
+            let eobj = e.as_obj().ok_or_else(|| format!("baseline: entry {i} not an object"))?;
+            let field = |name: &str| -> Result<String, String> {
+                eobj.iter()
+                    .find(|(k, _)| k == name)
+                    .and_then(|(_, v)| v.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline: entry {i} missing string \"{name}\""))
+            };
+            entries.push((field("path")?, field("slug")?, field("snippet")?));
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+/// Result of diffing current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct RatchetDiff {
+    /// Indices (into the findings slice) not covered by the baseline —
+    /// these fail the gate.
+    pub new: Vec<usize>,
+    /// Baseline entries that matched nothing — stale; warn and ratchet.
+    pub stale: Vec<BaselineKey>,
+}
+
+/// Multiset diff: each baseline entry absorbs at most one identical
+/// finding; everything left on either side is reported.
+pub fn ratchet_diff(baseline: &Baseline, diags: &[FileDiagnostic]) -> RatchetDiff {
+    let mut budget: BTreeMap<&BaselineKey, usize> = BTreeMap::new();
+    for key in &baseline.entries {
+        *budget.entry(key).or_insert(0) += 1;
+    }
+    let mut diff = RatchetDiff::default();
+    for (i, d) in diags.iter().enumerate() {
+        let key: BaselineKey =
+            (d.path.clone(), d.diagnostic.rule.slug().to_string(), d.snippet.trim().to_string());
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => diff.new.push(i),
+        }
+    }
+    for (key, n) in budget {
+        for _ in 0..n {
+            diff.stale.push(key.clone());
+        }
+    }
+    diff
+}
+
+/// JSON-escape a string (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value — just enough for the baseline format.
+#[derive(Debug)]
+enum Value {
+    Null,
+    // Payloads are parsed for validation; the baseline only reads strings.
+    #[allow(dead_code)]
+    Bool(bool),
+    #[allow(dead_code)]
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Value, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut p = JsonParser { chars, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("json: trailing content at char {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct JsonParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl JsonParser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_char(&mut self, c: char) -> Result<(), String> {
+        if self.bump() == Some(c) {
+            Ok(())
+        } else {
+            Err(format!("json: expected '{c}' at char {}", self.pos.saturating_sub(1)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        for c in word.chars() {
+            self.expect_char(c)?;
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('n') => self.literal("null", Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("json: unexpected input at char {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect_char('{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Value::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_char(':')?;
+            let val = self.value()?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(Value::Obj(out)),
+                _ => return Err(format!("json: expected ',' or '}}' at char {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect_char('[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Value::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => return Ok(Value::Arr(out)),
+                _ => return Err(format!("json: expected ',' or ']' at char {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_char('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("json: unterminated string".to_string()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("json: bad \\u escape")?;
+                            v = v * 16 + d;
+                        }
+                        // Surrogates degrade to the replacement char; the
+                        // baseline never contains them.
+                        out.push(char::from_u32(v).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err("json: bad escape".to_string()),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
+        {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>().map(Value::Num).map_err(|e| format!("json: bad number: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Diagnostic;
+
+    fn fd(path: &str, rule: Rule, line: u32, snippet: &str) -> FileDiagnostic {
+        FileDiagnostic {
+            path: path.to_string(),
+            diagnostic: Diagnostic { rule, line, col: 1, message: "m \"quoted\"".to_string() },
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn report_parses_back_and_counts() {
+        let diags = vec![
+            fd("a.rs", Rule::HotAlloc, 3, "let v = Vec::new();"),
+            fd("b.rs", Rule::ReduceTaint, 9, "x += y;"),
+        ];
+        let text = render_report(&diags);
+        let v = parse_json(&text).unwrap();
+        let obj = v.as_obj().unwrap();
+        let findings =
+            obj.iter().find(|(k, _)| k == "findings").and_then(|(_, v)| v.as_arr()).unwrap();
+        assert_eq!(findings.len(), 2);
+        let rules = obj.iter().find(|(k, _)| k == "rules").and_then(|(_, v)| v.as_arr()).unwrap();
+        assert_eq!(rules.len(), Rule::ALL.len());
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_diff() {
+        let old = vec![fd("a.rs", Rule::HotAlloc, 3, "  let v = Vec::new();  ")];
+        let baseline = Baseline::parse(&render_baseline(&old)).unwrap();
+        assert_eq!(baseline.len(), 1);
+
+        // Identical finding (different line, same snippet): covered.
+        let now = vec![fd("a.rs", Rule::HotAlloc, 30, "let v = Vec::new();")];
+        let diff = ratchet_diff(&baseline, &now);
+        assert!(diff.new.is_empty());
+        assert!(diff.stale.is_empty());
+
+        // A second identical finding exceeds the multiset budget.
+        let now2 = vec![
+            fd("a.rs", Rule::HotAlloc, 30, "let v = Vec::new();"),
+            fd("a.rs", Rule::HotAlloc, 31, "let v = Vec::new();"),
+        ];
+        let diff2 = ratchet_diff(&baseline, &now2);
+        assert_eq!(diff2.new.len(), 1);
+
+        // Finding gone: the baseline entry is stale.
+        let diff3 = ratchet_diff(&baseline, &[]);
+        assert!(diff3.new.is_empty());
+        assert_eq!(diff3.stale.len(), 1);
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        let b = Baseline::parse("{\n  \"version\": 2,\n  \"entries\": [\n  ]\n}\n").unwrap();
+        assert!(b.is_empty());
+        let rendered = render_baseline(&[]);
+        assert!(Baseline::parse(&rendered).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Baseline::parse("").is_err());
+        assert!(Baseline::parse("[1,2").is_err());
+        assert!(Baseline::parse("{\"entries\": [{}]}").is_err());
+        assert!(Baseline::parse("{\"entries\": 3}").is_err());
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let diags = vec![fd("a.rs", Rule::PanicPath, 1, "s.push('\\n'); // \"x\"\t")];
+        let b = Baseline::parse(&render_baseline(&diags)).unwrap();
+        assert_eq!(b.entries[0].2, "s.push('\\n'); // \"x\"");
+    }
+}

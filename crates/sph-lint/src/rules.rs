@@ -6,10 +6,13 @@
 //! | id | slug                  | contract it enforces |
 //! |----|-----------------------|----------------------|
 //! | R1 | `hash-container`      | no `HashMap`/`HashSet` in sph code — iteration order is nondeterministic; use `BTreeMap`/`BTreeSet` or a sorted `Vec` |
-//! | R2 | `raw-accumulation`    | no bare `+=`/`.sum()` accumulation loops in the hot-path crates (sph-core, sph-math, sph-tree) — route through `KahanAccumulator` or the fixed-chunk ordered-reduce helpers |
+//! | R2 | `raw-accumulation`    | no bare `+=`/`.sum()`/additive `.fold()` accumulation loops in the hot-path crates (sph-core, sph-math, sph-tree) — route through `KahanAccumulator` or the fixed-chunk ordered-reduce helpers |
 //! | R3 | `panic-path`          | no `unwrap()`/`expect()`/`panic!` in library code paths — return typed `Result`s |
 //! | R4 | `undocumented-unsafe` | every `unsafe` needs an adjacent `// SAFETY:` comment (or a `# Safety` doc section) |
 //! | R5 | `wall-clock`          | no `Instant::now`/`SystemTime::now`/`thread::spawn` outside the rayon shim and sph-profiler — wall-clock reads in compute passes break replay determinism |
+//! | R6 | `hot-alloc`           | no `Vec`/`Box`/`String`/`collect` allocation in any fn reachable from the kernel-pass seed set (call-graph rule; see [`crate::semantic`]) |
+//! | R7 | `reduce-taint`        | interprocedural R2: bare float `+=`/`.sum()`/`fold` in any fn reachable from a trajectory-feeding path, whatever crate it lives in |
+//! | R8 | `env-determinism`     | no env/thread-count reads outside the rayon shim and binary CLI surfaces — values that shape physics state must come from explicit config |
 //!
 //! Two meta rules police the suppression mechanism itself and cannot be
 //! suppressed: S1 `unjustified-suppression` (an `allow` without a written
@@ -58,6 +61,13 @@ pub enum Rule {
     UndocumentedUnsafe,
     /// R5: wall-clock reads / thread spawns outside the sanctioned crates.
     WallClock,
+    /// R6: allocation in a fn reachable from the kernel-pass seeds.
+    HotAlloc,
+    /// R7: interprocedural R2 — raw accumulation reachable from a
+    /// trajectory-feeding path, whatever crate it lives in.
+    ReduceTaint,
+    /// R8: env/thread-count reads outside the shim / binary surfaces.
+    EnvDeterminism,
     /// S1: suppression without a written justification (or unknown rule).
     UnjustifiedSuppression,
     /// S2: suppression that matched no diagnostic.
@@ -65,15 +75,18 @@ pub enum Rule {
 }
 
 impl Rule {
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 8] = [
         Rule::HashContainer,
         Rule::RawAccumulation,
         Rule::PanicPath,
         Rule::UndocumentedUnsafe,
         Rule::WallClock,
+        Rule::HotAlloc,
+        Rule::ReduceTaint,
+        Rule::EnvDeterminism,
     ];
 
-    /// Short id (`R1`…`R5`, `S1`/`S2`).
+    /// Short id (`R1`…`R8`, `S1`/`S2`).
     pub fn id(self) -> &'static str {
         match self {
             Rule::HashContainer => "R1",
@@ -81,6 +94,9 @@ impl Rule {
             Rule::PanicPath => "R3",
             Rule::UndocumentedUnsafe => "R4",
             Rule::WallClock => "R5",
+            Rule::HotAlloc => "R6",
+            Rule::ReduceTaint => "R7",
+            Rule::EnvDeterminism => "R8",
             Rule::UnjustifiedSuppression => "S1",
             Rule::UnusedSuppression => "S2",
         }
@@ -94,6 +110,9 @@ impl Rule {
             Rule::PanicPath => "panic-path",
             Rule::UndocumentedUnsafe => "undocumented-unsafe",
             Rule::WallClock => "wall-clock",
+            Rule::HotAlloc => "hot-alloc",
+            Rule::ReduceTaint => "reduce-taint",
+            Rule::EnvDeterminism => "env-determinism",
             Rule::UnjustifiedSuppression => "unjustified-suppression",
             Rule::UnusedSuppression => "unused-suppression",
         }
@@ -126,6 +145,18 @@ impl Rule {
                 "wall-clock read or thread spawn outside the rayon shim / sph-profiler; \
                  nondeterministic inputs break replay determinism"
             }
+            Rule::HotAlloc => {
+                "allocation (Vec/Box/String/collect) in a function reachable from the \
+                 kernel-pass seed set; use per-chunk scratch or pre-sized buffers"
+            }
+            Rule::ReduceTaint => {
+                "bare floating-point accumulation reachable from a trajectory-feeding \
+                 path; route through KahanAccumulator or the ordered-reduce helpers"
+            }
+            Rule::EnvDeterminism => {
+                "env/thread-count read in library code; values that can shape physics \
+                 state must come from explicit config, not the process environment"
+            }
             Rule::UnjustifiedSuppression => "sph-lint suppression without a written justification",
             Rule::UnusedSuppression => "sph-lint suppression that matched no diagnostic",
         }
@@ -144,7 +175,11 @@ pub struct FileContext {
 }
 
 impl FileContext {
-    fn applies(&self, rule: Rule) -> bool {
+    /// Does `rule` apply to files in this context? For the call-graph
+    /// rules (R6/R7) this is a necessary precondition only: the semantic
+    /// pass additionally requires the containing fn to be reachable from
+    /// the relevant seed set.
+    pub fn applies(&self, rule: Rule) -> bool {
         if self.is_shim {
             return rule == Rule::UndocumentedUnsafe;
         }
@@ -157,6 +192,12 @@ impl FileContext {
             Rule::WallClock => {
                 !self.is_binary && !WALL_CLOCK_CRATES.contains(&self.crate_name.as_str())
             }
+            // Reachability decides, not the crate: binaries included.
+            Rule::HotAlloc => true,
+            // The hot-path crates already answer to R2 for the same
+            // patterns; R7 extends the contract to everything else.
+            Rule::ReduceTaint => !HOT_PATH_CRATES.contains(&self.crate_name.as_str()),
+            Rule::EnvDeterminism => !self.is_binary,
             Rule::UnjustifiedSuppression | Rule::UnusedSuppression => true,
         }
     }
@@ -185,17 +226,33 @@ struct Suppression {
     used: bool,
 }
 
-/// Lint one tokenized file. `src` is only used to slice token text.
+/// Lint one tokenized file with the token-level rules (R1–R5, S1/S2).
+/// The call-graph rules need a workspace view; see [`crate::lint_sources`].
 pub fn lint_tokens(src: &str, tokens: &[Token], ctx: &FileContext) -> Vec<Diagnostic> {
-    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let code: Vec<Token> = tokens.iter().filter(|t| !t.is_comment()).copied().collect();
     let test_ranges = test_item_ranges(src, &code);
+    lint_tokens_merged(src, tokens, &code, &test_ranges, ctx, Vec::new())
+}
+
+/// The per-file finalizer: token-level violations plus pre-positioned
+/// semantic diagnostics (`extra`, already test-filtered), all routed
+/// through one suppression-matching pass so R6–R8 answer to the same
+/// `sph-lint: allow(…)` grammar — and the same S1/S2 policing — as R1–R5.
+pub(crate) fn lint_tokens_merged(
+    src: &str,
+    tokens: &[Token],
+    code: &[Token],
+    test_ranges: &[std::ops::Range<usize>],
+    ctx: &FileContext,
+    extra: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
     let in_test = |tok: &Token| test_ranges.iter().any(|r| r.contains(&tok.start));
 
     let mut suppressions = collect_suppressions(src, tokens, &in_test);
     let mut out = Vec::new();
 
-    for v in find_violations(src, &code, ctx) {
-        let tok = code[v.token_idx];
+    for v in find_violations(src, code, ctx) {
+        let tok = &code[v.token_idx];
         if in_test(tok) {
             continue;
         }
@@ -216,6 +273,15 @@ pub fn lint_tokens(src: &str, tokens: &[Token], ctx: &FileContext) -> Vec<Diagno
                 col: tok.col,
                 message: v.message,
             }),
+        }
+    }
+
+    for d in extra {
+        let suppressed =
+            suppressions.iter_mut().find(|s| s.covers_line == d.line && s.rules.contains(&d.rule));
+        match suppressed {
+            Some(s) => s.used = true,
+            None => out.push(d),
         }
     }
 
@@ -259,7 +325,7 @@ struct Violation {
 }
 
 /// Byte ranges of `#[cfg(test)]` / `#[test]` items (body plus attribute).
-fn test_item_ranges(src: &str, code: &[&Token]) -> Vec<std::ops::Range<usize>> {
+pub(crate) fn test_item_ranges(src: &str, code: &[Token]) -> Vec<std::ops::Range<usize>> {
     let mut ranges = Vec::new();
     let mut i = 0usize;
     while i < code.len() {
@@ -298,7 +364,7 @@ fn test_item_ranges(src: &str, code: &[&Token]) -> Vec<std::ops::Range<usize>> {
 }
 
 /// Does `#` at `code[i]` open `#[cfg(test)]` or `#[test]`?
-fn is_test_attribute(src: &str, code: &[&Token], i: usize) -> bool {
+fn is_test_attribute(src: &str, code: &[Token], i: usize) -> bool {
     let text = |k: usize| code.get(k).map(|t| t.text(src)).unwrap_or("");
     text(i) == "#"
         && text(i + 1) == "["
@@ -311,7 +377,7 @@ fn is_test_attribute(src: &str, code: &[&Token], i: usize) -> bool {
 
 /// Given `code[i] == "#"` starting an attribute, return the index just past
 /// its closing `]` (bracket-depth aware, so `#[cfg(any(test, foo))]` works).
-fn skip_attribute(src: &str, code: &[&Token], i: usize) -> usize {
+fn skip_attribute(src: &str, code: &[Token], i: usize) -> usize {
     if code.get(i + 1).map(|t| t.text(src)) != Some("[") {
         return i + 1;
     }
@@ -426,7 +492,7 @@ fn parse_suppression(comment: &str) -> Option<(Vec<Rule>, Vec<String>, bool)> {
 }
 
 /// Run the R1–R5 matchers over the code tokens.
-fn find_violations(src: &str, code: &[&Token], ctx: &FileContext) -> Vec<Violation> {
+fn find_violations(src: &str, code: &[Token], ctx: &FileContext) -> Vec<Violation> {
     let text = |k: usize| code.get(k).map(|t| t.text(src)).unwrap_or("");
     let is_ident = |k: usize| code.get(k).is_some_and(|t| t.kind == TokenKind::Ident);
     let mut out = Vec::new();
@@ -438,7 +504,7 @@ fn find_violations(src: &str, code: &[&Token], ctx: &FileContext) -> Vec<Violati
     let mut pending_loop_kw = false;
 
     for i in 0..code.len() {
-        let t = code[i];
+        let t = &code[i];
         let tt = t.text(src);
 
         match tt {
@@ -507,6 +573,24 @@ fn find_violations(src: &str, code: &[&Token], ctx: &FileContext) -> Vec<Violati
             });
         }
 
+        // R2c: additive `.fold(…)` — the same reduction as R2b spelled
+        // out. Min/max folds carry no `+` and are order-independent.
+        if ctx.applies(Rule::RawAccumulation)
+            && tt == "."
+            && text(i + 1) == "fold"
+            && is_ident(i + 1)
+            && text(i + 2) == "("
+            && balanced_args_contain_add(src, code, i + 2)
+        {
+            out.push(Violation {
+                rule: Rule::RawAccumulation,
+                token_idx: i + 1,
+                message: "additive `.fold(…)` accumulates in iterator order with no \
+                          compensation; use KahanAccumulator or the ordered-reduce helpers"
+                    .to_string(),
+            });
+        }
+
         // R3: `.unwrap()` / `.expect(` / `panic!`.
         if ctx.applies(Rule::PanicPath) {
             if tt == "." && matches!(text(i + 1), "unwrap" | "expect") && text(i + 2) == "(" {
@@ -563,4 +647,26 @@ fn find_violations(src: &str, code: &[&Token], ctx: &FileContext) -> Vec<Violati
         }
     }
     out
+}
+
+/// Do the balanced arguments of the call whose `(` sits at `open` contain
+/// an additive operator? Shared by R2c and R7's fold matcher.
+pub(crate) fn balanced_args_contain_add(src: &str, code: &[Token], open: usize) -> bool {
+    let mut depth = 0isize;
+    let mut k = open;
+    while k < code.len() {
+        match code[k].text(src) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth <= 0 {
+                    return false;
+                }
+            }
+            "+" | "+=" => return true,
+            _ => {}
+        }
+        k += 1;
+    }
+    false
 }

@@ -18,3 +18,21 @@ fn workspace_has_no_unsuppressed_diagnostics() {
         diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
     );
 }
+
+/// The committed ratchet baseline must parse and stay empty: every finding
+/// is fixed or suppressed at the source, never grandfathered silently.
+#[test]
+fn committed_baseline_is_empty() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives at <root>/crates/sph-lint");
+    let text = std::fs::read_to_string(root.join("lint_baseline.json"))
+        .expect("lint_baseline.json exists at the workspace root");
+    let baseline = sph_lint::report::Baseline::parse(&text).expect("baseline parses");
+    assert!(
+        baseline.is_empty(),
+        "lint_baseline.json has {} grandfathered entr(y/ies); the repo policy is zero",
+        baseline.len()
+    );
+}

@@ -105,7 +105,10 @@ impl Periodicity {
     /// the primary domain within radius `r` — i.e. the ghost images the halo
     /// exchange must create. Returns offsets (including `Vec3::ZERO` first).
     pub fn ghost_offsets(&self, p: Vec3, r: f64) -> Vec<Vec3> {
-        let mut offsets = vec![Vec3::ZERO];
+        // Doubles once per shifted axis: at most 2^3 images. Pre-sizing
+        // keeps this single allocation off the hot-path grow cycle.
+        let mut offsets = Vec::with_capacity(8);
+        offsets.push(Vec3::ZERO);
         for axis in 0..3 {
             if !self.periodic[axis] {
                 continue;

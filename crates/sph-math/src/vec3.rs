@@ -270,6 +270,10 @@ impl IndexMut<usize> for Vec3 {
 
 impl Sum for Vec3 {
     fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        // sph-lint: allow(raw-accumulation) — FROZEN: sequential fold in
+        // the caller's iteration order; component-wise Kahan would change
+        // every existing Vec3 sum bit-for-bit. Hot reductions use the
+        // chunked ordered-reduce helpers instead of this impl.
         iter.fold(Vec3::ZERO, |a, b| a + b)
     }
 }

@@ -113,8 +113,11 @@ impl<'a> NeighborSearch<'a> {
         let pos = self.tree.sorted_positions();
         let order = self.tree.order();
         // Explicit stack; recursion depth can reach 21 but a stack avoids
-        // function-call overhead in this hot path.
-        let mut stack: Vec<u32> = vec![0];
+        // function-call overhead in this hot path. Pre-sized for the worst
+        // case (7 deferred siblings per level × max depth) so it never
+        // grows mid-traversal.
+        let mut stack: Vec<u32> = Vec::with_capacity(7 * 21 + 1);
+        stack.push(0);
         while let Some(ni) = stack.pop() {
             let node = &nodes[ni as usize];
             stats.nodes_visited += 1;
