@@ -26,12 +26,14 @@
 //! (FLOP/interaction, latency, bandwidth) are calibrated constants
 //! (documented in EXPERIMENTS.md).
 
+pub mod calibrate;
 pub mod cost;
 pub mod machine;
 pub mod scaling;
 pub mod step_model;
 pub mod tracegen;
 
+pub use calibrate::OnlineCalibrator;
 pub use cost::CostModel;
 pub use machine::{marenostrum4, piz_daint, MachineModel, NetworkModel};
 pub use scaling::{scaling_experiment, ScalingConfig, ScalingRow};

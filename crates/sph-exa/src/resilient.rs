@@ -333,6 +333,12 @@ impl ResilientSimulation {
         self.cadence.daly_interval()
     }
 
+    /// Borrow the inner simulation (timers, decomposition, conservation —
+    /// read-only observers; stepping must go through [`Self::run`]).
+    pub fn inner(&self) -> &DistributedSimulation {
+        &self.sim
+    }
+
     /// Unwrap the inner simulation (the fault layer stays transplanted).
     pub fn into_inner(self) -> DistributedSimulation {
         self.sim

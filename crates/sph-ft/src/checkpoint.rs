@@ -321,6 +321,81 @@ impl CheckpointStore for DiskStore {
     }
 }
 
+/// A view of another store with every label prefixed by `{namespace}__`.
+///
+/// Lets independent writers (e.g. sph-serve jobs, keyed by job id) share
+/// one backing [`DiskStore`]/[`MemoryStore`] without label collisions:
+/// each job sees only its own snapshots and blobs, and invalidating one
+/// namespace cannot touch another's checkpoints. The separator is `__`
+/// (not `::`) because [`DiskStore`] sanitises labels into file names and
+/// only `[A-Za-z0-9_-]` survives the round trip through
+/// [`CheckpointStore::labels`]; namespaces should stick to that alphabet
+/// too (sph-serve's hex job ids do).
+pub struct NamespacedStore<S> {
+    inner: S,
+    prefix: String,
+}
+
+impl<S> NamespacedStore<S> {
+    pub fn new(namespace: &str, inner: S) -> NamespacedStore<S> {
+        NamespacedStore { inner, prefix: format!("{namespace}__") }
+    }
+
+    fn full(&self, label: &str) -> String {
+        format!("{}{label}", self.prefix)
+    }
+
+    /// The wrapped store.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: CheckpointStore> CheckpointStore for NamespacedStore<S> {
+    fn save(&mut self, label: &str, sys: &ParticleSystem) -> Result<usize, FtError> {
+        self.inner.save(&self.full(label), sys)
+    }
+
+    fn restore(&self, label: &str) -> Result<ParticleSystem, FtError> {
+        self.inner.restore(&self.full(label))
+    }
+
+    fn labels(&self) -> Vec<String> {
+        self.inner
+            .labels()
+            .into_iter()
+            .filter_map(|l| l.strip_prefix(&self.prefix).map(str::to_string))
+            .collect()
+    }
+
+    fn invalidate(&mut self, label: &str) {
+        self.inner.invalidate(&self.full(label));
+    }
+
+    fn invalidate_all(&mut self) {
+        for label in self.labels() {
+            self.invalidate(&label);
+        }
+    }
+
+    fn save_blob(&mut self, label: &str, bytes: &[u8]) -> Result<usize, FtError> {
+        self.inner.save_blob(&self.full(label), bytes)
+    }
+
+    fn restore_blob(&self, label: &str) -> Result<Vec<u8>, FtError> {
+        self.inner.restore_blob(&self.full(label))
+    }
+
+    fn corrupt_stored(
+        &mut self,
+        label: &str,
+        kind: StoredKind,
+        mutate: &mut dyn FnMut(&mut Vec<u8>),
+    ) -> Result<(), FtError> {
+        self.inner.corrupt_stored(&self.full(label), kind, mutate)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,5 +543,51 @@ mod tests {
             s.corrupt_stored("x", StoredKind::Blob, &mut |_| {}),
             Err(FtError::Unsupported { .. })
         ));
+    }
+
+    #[test]
+    fn namespaced_stores_are_isolated() {
+        let backing = MemoryStore::new();
+        let mut a = NamespacedStore::new("job-a", backing);
+        a.save("gen0", &sample(1.0)).unwrap();
+        a.save_blob("manifest", b"alpha").unwrap();
+
+        let mut b = NamespacedStore::new("job-b", a.into_inner());
+        // Namespace b sees none of a's snapshots or blobs.
+        assert!(b.labels().is_empty());
+        assert!(matches!(b.restore("gen0"), Err(FtError::MissingCheckpoint { .. })));
+        assert!(matches!(b.restore_blob("manifest"), Err(FtError::MissingBlob { .. })));
+        b.save("gen0", &sample(2.0)).unwrap();
+        assert_eq!(b.labels(), vec!["gen0".to_string()]);
+        // Wiping b leaves a's data intact in the backing store.
+        b.invalidate_all();
+        let a_again = NamespacedStore::new("job-a", b.into_inner());
+        assert_eq!(a_again.restore("gen0").unwrap().time, 1.0);
+        assert_eq!(a_again.restore_blob("manifest").unwrap(), b"alpha");
+    }
+
+    #[test]
+    fn namespaced_labels_round_trip_through_disk_store() {
+        // DiskStore reconstructs label names from sanitised file names, so the
+        // namespace separator must survive sanitisation (`__` does, `::` would
+        // not). labels()/invalidate_all() must keep working over a DiskStore.
+        let dir = std::env::temp_dir().join(format!("sphft-test5-{}", std::process::id()));
+        let mut a = NamespacedStore::new("1f2e3d4c", DiskStore::new(&dir).unwrap());
+        a.invalidate_all();
+        a.save("resilient-gen0", &sample(1.0)).unwrap();
+        a.save("resilient-gen1", &sample(2.0)).unwrap();
+        let mut labels = a.labels();
+        labels.sort();
+        assert_eq!(labels, vec!["resilient-gen0".to_string(), "resilient-gen1".to_string()]);
+        assert_eq!(a.restore("resilient-gen1").unwrap().time, 2.0);
+
+        let mut other = NamespacedStore::new("deadbeef", a.into_inner());
+        assert!(other.labels().is_empty());
+        other.save("resilient-gen0", &sample(3.0)).unwrap();
+        other.invalidate_all();
+        assert!(other.labels().is_empty());
+        let a_back = NamespacedStore::new("1f2e3d4c", other.into_inner());
+        assert_eq!(a_back.labels().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

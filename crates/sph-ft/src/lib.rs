@@ -32,7 +32,7 @@ pub mod scheduler;
 pub mod sdc;
 
 pub use chaos::{CorruptionMode, FaultEvent, FaultKind, FaultPlan, FaultyExchange};
-pub use checkpoint::{CheckpointStore, DiskStore, MemoryStore, StoredKind};
+pub use checkpoint::{CheckpointStore, DiskStore, MemoryStore, NamespacedStore, StoredKind};
 pub use daly::{daly_interval, expected_waste};
 pub use error::FtError;
 pub use multilevel::{

@@ -1,0 +1,60 @@
+//! Property tests: escaping and whole-document round trips.
+
+use proptest::prelude::*;
+use sph_json::{fmt_f64, parse, quoted, Value};
+
+/// Arbitrary unicode strings, including controls, quotes and backslashes
+/// (the shim has no `any::<String>()`, so build one from code points).
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u32>(), 0..40).prop_map(|points| {
+        points
+            .into_iter()
+            .map(|p| {
+                // Bias toward the troublesome ASCII range half the time.
+                let p = if p & 1 == 0 { p % 0x80 } else { p % 0x11_0000 };
+                char::from_u32(p).unwrap_or('\u{fffd}')
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// `parse(quoted(s))` recovers `s` exactly, for any unicode string.
+    #[test]
+    fn escape_roundtrip(s in arb_string()) {
+        let parsed = parse(&quoted(&s)).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+
+    /// Finite numbers survive a render/parse cycle bit-exactly (shortest
+    /// round-trip formatting), and re-rendering is a fixed point.
+    #[test]
+    fn number_roundtrip(x in any::<f64>()) {
+        let text = fmt_f64(x);
+        let parsed = parse(&text).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(parsed.as_f64().map(f64::to_bits), Some(x.to_bits()));
+        prop_assert_eq!(parsed.render(), text);
+    }
+
+    /// Whole documents: render → parse → render is a fixed point, and the
+    /// parsed tree equals the original.
+    #[test]
+    fn document_roundtrip(
+        s in arb_string(),
+        x in any::<f64>(),
+        n in any::<u32>(),
+        b in any::<bool>(),
+    ) {
+        let doc = Value::obj(vec![
+            ("label", Value::Str(s)),
+            ("x", Value::Num(x)),
+            ("n", Value::Num(f64::from(n))),
+            ("flag", Value::Bool(b)),
+            ("nested", Value::Arr(vec![Value::Null, Value::obj(vec![("k", Value::Num(x))])])),
+        ]);
+        let text = doc.render();
+        let back = parse(&text).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(&back, &doc);
+        prop_assert_eq!(back.render(), text);
+    }
+}

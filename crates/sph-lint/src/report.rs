@@ -1,8 +1,9 @@
 //! Machine-readable output: the `--json` report and the ratchet baseline.
 //!
-//! sph-lint keeps its zero-dependency contract (it must keep working when
-//! the workspace it checks is broken), so both the JSON writer and the
-//! minimal parser the baseline needs are hand-rolled here.
+//! The JSON value/writer/parser layer lives in the shared `sph-json`
+//! crate (also dependency-free, so sph-lint keeps working when the
+//! workspace it checks is broken); this module owns the report and
+//! baseline *schemas* on top of it.
 //!
 //! # Report schema (`--json`)
 //!
@@ -30,6 +31,8 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+use sph_json::{parse as parse_json, quoted as json_str};
 
 use crate::rules::Rule;
 use crate::FileDiagnostic;
@@ -165,222 +168,6 @@ pub fn ratchet_diff(baseline: &Baseline, diags: &[FileDiagnostic]) -> RatchetDif
         }
     }
     diff
-}
-
-/// JSON-escape a string (quotes included).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Minimal JSON value — just enough for the baseline format.
-#[derive(Debug)]
-enum Value {
-    Null,
-    // Payloads are parsed for validation; the baseline only reads strings.
-    #[allow(dead_code)]
-    Bool(bool),
-    #[allow(dead_code)]
-    Num(f64),
-    Str(String),
-    Arr(Vec<Value>),
-    Obj(Vec<(String, Value)>),
-}
-
-impl Value {
-    fn as_obj(&self) -> Option<&[(String, Value)]> {
-        match self {
-            Value::Obj(o) => Some(o),
-            _ => None,
-        }
-    }
-
-    fn as_arr(&self) -> Option<&[Value]> {
-        match self {
-            Value::Arr(a) => Some(a),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Value::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-}
-
-fn parse_json(text: &str) -> Result<Value, String> {
-    let chars: Vec<char> = text.chars().collect();
-    let mut p = JsonParser { chars, pos: 0 };
-    p.skip_ws();
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.chars.len() {
-        return Err(format!("json: trailing content at char {}", p.pos));
-    }
-    Ok(v)
-}
-
-struct JsonParser {
-    chars: Vec<char>,
-    pos: usize,
-}
-
-impl JsonParser {
-    fn peek(&self) -> Option<char> {
-        self.chars.get(self.pos).copied()
-    }
-
-    fn bump(&mut self) -> Option<char> {
-        let c = self.peek();
-        if c.is_some() {
-            self.pos += 1;
-        }
-        c
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect_char(&mut self, c: char) -> Result<(), String> {
-        if self.bump() == Some(c) {
-            Ok(())
-        } else {
-            Err(format!("json: expected '{c}' at char {}", self.pos.saturating_sub(1)))
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
-        for c in word.chars() {
-            self.expect_char(c)?;
-        }
-        Ok(v)
-    }
-
-    fn value(&mut self) -> Result<Value, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some('{') => self.object(),
-            Some('[') => self.array(),
-            Some('"') => Ok(Value::Str(self.string()?)),
-            Some('t') => self.literal("true", Value::Bool(true)),
-            Some('f') => self.literal("false", Value::Bool(false)),
-            Some('n') => self.literal("null", Value::Null),
-            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
-            _ => Err(format!("json: unexpected input at char {}", self.pos)),
-        }
-    }
-
-    fn object(&mut self) -> Result<Value, String> {
-        self.expect_char('{')?;
-        let mut out = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some('}') {
-            self.pos += 1;
-            return Ok(Value::Obj(out));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect_char(':')?;
-            let val = self.value()?;
-            out.push((key, val));
-            self.skip_ws();
-            match self.bump() {
-                Some(',') => continue,
-                Some('}') => return Ok(Value::Obj(out)),
-                _ => return Err(format!("json: expected ',' or '}}' at char {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Value, String> {
-        self.expect_char('[')?;
-        let mut out = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(']') {
-            self.pos += 1;
-            return Ok(Value::Arr(out));
-        }
-        loop {
-            out.push(self.value()?);
-            self.skip_ws();
-            match self.bump() {
-                Some(',') => continue,
-                Some(']') => return Ok(Value::Arr(out)),
-                _ => return Err(format!("json: expected ',' or ']' at char {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect_char('"')?;
-        let mut out = String::new();
-        loop {
-            match self.bump() {
-                None => return Err("json: unterminated string".to_string()),
-                Some('"') => return Ok(out),
-                Some('\\') => match self.bump() {
-                    Some('"') => out.push('"'),
-                    Some('\\') => out.push('\\'),
-                    Some('/') => out.push('/'),
-                    Some('n') => out.push('\n'),
-                    Some('t') => out.push('\t'),
-                    Some('r') => out.push('\r'),
-                    Some('b') => out.push('\u{8}'),
-                    Some('f') => out.push('\u{c}'),
-                    Some('u') => {
-                        let mut v = 0u32;
-                        for _ in 0..4 {
-                            let d = self
-                                .bump()
-                                .and_then(|c| c.to_digit(16))
-                                .ok_or("json: bad \\u escape")?;
-                            v = v * 16 + d;
-                        }
-                        // Surrogates degrade to the replacement char; the
-                        // baseline never contains them.
-                        out.push(char::from_u32(v).unwrap_or('\u{fffd}'));
-                    }
-                    _ => return Err("json: bad escape".to_string()),
-                },
-                Some(c) => out.push(c),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Value, String> {
-        let start = self.pos;
-        if self.peek() == Some('-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '.' | 'e' | 'E' | '+' | '-'))
-        {
-            self.pos += 1;
-        }
-        let text: String = self.chars[start..self.pos].iter().collect();
-        text.parse::<f64>().map(Value::Num).map_err(|e| format!("json: bad number: {e}"))
-    }
 }
 
 #[cfg(test)]

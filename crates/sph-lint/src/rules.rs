@@ -9,10 +9,10 @@
 //! | R2 | `raw-accumulation`    | no bare `+=`/`.sum()`/additive `.fold()` accumulation loops in the hot-path crates (sph-core, sph-math, sph-tree) — route through `KahanAccumulator` or the fixed-chunk ordered-reduce helpers |
 //! | R3 | `panic-path`          | no `unwrap()`/`expect()`/`panic!` in library code paths — return typed `Result`s |
 //! | R4 | `undocumented-unsafe` | every `unsafe` needs an adjacent `// SAFETY:` comment (or a `# Safety` doc section) |
-//! | R5 | `wall-clock`          | no `Instant::now`/`SystemTime::now`/`thread::spawn` outside the rayon shim and sph-profiler — wall-clock reads in compute passes break replay determinism |
+//! | R5 | `wall-clock`          | no `Instant::now`/`SystemTime::now`/`thread::spawn` outside the rayon shim, sph-profiler and sph-serve — wall-clock reads in compute passes break replay determinism |
 //! | R6 | `hot-alloc`           | no `Vec`/`Box`/`String`/`collect` allocation in any fn reachable from the kernel-pass seed set (call-graph rule; see [`crate::semantic`]) |
 //! | R7 | `reduce-taint`        | interprocedural R2: bare float `+=`/`.sum()`/`fold` in any fn reachable from a trajectory-feeding path, whatever crate it lives in |
-//! | R8 | `env-determinism`     | no env/thread-count reads outside the rayon shim and binary CLI surfaces — values that shape physics state must come from explicit config |
+//! | R8 | `env-determinism`     | no env/thread-count reads outside the rayon shim, sph-serve and binary CLI surfaces — values that shape physics state must come from explicit config |
 //!
 //! Two meta rules police the suppression mechanism itself and cannot be
 //! suppressed: S1 `unjustified-suppression` (an `allow` without a written
@@ -45,8 +45,18 @@ pub const MIN_JUSTIFICATION: usize = 10;
 pub const HOT_PATH_CRATES: &[&str] = &["sph-core", "sph-math", "sph-tree"];
 
 /// Crates allowed to read the wall clock (rule R5). The shims are exempt
-/// wholesale via [`FileContext::is_shim`]; this lists first-party crates.
-pub const WALL_CLOCK_CRATES: &[&str] = &["sph-profiler"];
+/// wholesale via [`FileContext::is_shim`]; this lists first-party crates:
+/// the profiler (timing IS its job) and the server (request latency and
+/// worker threads live outside any physics trajectory — trajectory values
+/// are produced by the deterministic crates it drives).
+pub const WALL_CLOCK_CRATES: &[&str] = &["sph-profiler", "sph-serve"];
+
+/// Crates allowed to read the process environment (rule R8) from library
+/// code. Binaries are exempt via [`FileContext::is_binary`]; sph-serve's
+/// library half owns operational surface (bind address, state directory)
+/// that must never shape physics state — the determinism argument is that
+/// its job results are produced by crates where R8 still applies.
+pub const ENV_READ_CRATES: &[&str] = &["sph-serve"];
 
 /// The enforced rules. `S1`/`S2` police the suppression mechanism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -142,8 +152,8 @@ impl Rule {
                 "unsafe without an adjacent // SAFETY: comment (or # Safety doc section)"
             }
             Rule::WallClock => {
-                "wall-clock read or thread spawn outside the rayon shim / sph-profiler; \
-                 nondeterministic inputs break replay determinism"
+                "wall-clock read or thread spawn outside the rayon shim / sph-profiler / \
+                 sph-serve; nondeterministic inputs break replay determinism"
             }
             Rule::HotAlloc => {
                 "allocation (Vec/Box/String/collect) in a function reachable from the \
@@ -154,8 +164,9 @@ impl Rule {
                  path; route through KahanAccumulator or the ordered-reduce helpers"
             }
             Rule::EnvDeterminism => {
-                "env/thread-count read in library code; values that can shape physics \
-                 state must come from explicit config, not the process environment"
+                "env/thread-count read in library code outside the sph-serve operational \
+                 surface; values that can shape physics state must come from explicit \
+                 config, not the process environment"
             }
             Rule::UnjustifiedSuppression => "sph-lint suppression without a written justification",
             Rule::UnusedSuppression => "sph-lint suppression that matched no diagnostic",
@@ -197,7 +208,9 @@ impl FileContext {
             // The hot-path crates already answer to R2 for the same
             // patterns; R7 extends the contract to everything else.
             Rule::ReduceTaint => !HOT_PATH_CRATES.contains(&self.crate_name.as_str()),
-            Rule::EnvDeterminism => !self.is_binary,
+            Rule::EnvDeterminism => {
+                !self.is_binary && !ENV_READ_CRATES.contains(&self.crate_name.as_str())
+            }
             Rule::UnjustifiedSuppression | Rule::UnusedSuppression => true,
         }
     }

@@ -179,6 +179,26 @@ fn r5_quiet_in_profiler_crate() {
     assert!(rules_hit(src, &prof).is_empty());
 }
 
+#[test]
+fn r5_blessed_in_sph_serve_but_still_fires_elsewhere() {
+    // The server context may read the clock and spawn workers…
+    let serve = FileContext { crate_name: "sph-serve".into(), is_binary: false, is_shim: false };
+    for snippet in [
+        "pub fn f() { let _t = std::time::Instant::now(); }\n",
+        "pub fn f() { std::thread::spawn(|| {}); }\n",
+    ] {
+        assert!(rules_hit(snippet, &serve).is_empty(), "{snippet:?} is blessed in sph-serve");
+    }
+    // …and the identical source still trips R5 in every other library
+    // context: the blessing is a context rule, not a rule change.
+    for crate_name in ["sph-ft", "sph-exa", "sph-core", "sph-scenarios"] {
+        let ctx = FileContext { crate_name: crate_name.into(), is_binary: false, is_shim: false };
+        let src = "pub fn f() { let _t = std::time::Instant::now(); }\n";
+        let hits = rules_hit(src, &ctx);
+        assert!(hits.contains(&Rule::WallClock), "R5 must still fire in {crate_name}: {hits:?}");
+    }
+}
+
 // --- Suppressions -------------------------------------------------------
 
 #[test]

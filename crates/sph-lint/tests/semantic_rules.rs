@@ -278,6 +278,26 @@ fn r8_quiet_in_binaries_and_shims() {
     );
 }
 
+#[test]
+fn r8_blessed_in_sph_serve_library_but_still_fires_elsewhere() {
+    let env_reader = "pub fn bind_addr() -> String {\n\
+         \x20   std::env::var(\"SPH_SERVE_ADDR\").unwrap_or_default()\n\
+         }\n";
+    // The server's library half owns operational env surface…
+    let diags = lint(&[("crates/sph-serve/src/server.rs", env_reader)]);
+    assert!(
+        diags.iter().all(|(_, r, _)| *r != Rule::EnvDeterminism),
+        "sph-serve's operational env reads are blessed: {diags:?}"
+    );
+    // …while the identical read in any physics crate still trips R8.
+    let diags = lint(&[("crates/sph-domain/src/config.rs", env_reader)]);
+    assert_eq!(
+        rules_in(&diags, "crates/sph-domain/src/config.rs"),
+        vec![Rule::EnvDeterminism],
+        "the carve-out must not leak beyond sph-serve: {diags:?}"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Suppressions apply to semantic rules like any other rule
 // ---------------------------------------------------------------------------

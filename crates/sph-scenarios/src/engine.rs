@@ -39,6 +39,7 @@ use sph_core::config::SphConfig;
 use sph_core::diagnostics::Conservation;
 use sph_core::particles::ParticleSystem;
 use sph_exa::{DistributedBuilder, DistributedConfig, SimulationBuilder};
+use sph_json::Value;
 use sph_math::Vec3;
 use sph_tree::GravityConfig;
 
@@ -506,55 +507,53 @@ impl ValidationReport {
         }
     }
 
-    /// Serialise as a JSON object (hand-rolled: the workspace is
-    /// offline, so no serde; non-finite numbers map to `null`).
-    pub fn to_json(&self) -> String {
-        let mut s = String::from("{");
-        s.push_str(&format!("\"scenario\":{:?},", self.scenario));
-        s.push_str(&format!("\"n_particles\":{},", self.n_particles));
-        s.push_str(&format!("\"steps\":{},", self.steps));
-        s.push_str(&format!("\"end_time\":{},", json_f64(self.end_time)));
-        match self.norms {
-            Some(n) => {
-                s.push_str(&format!("\"l1\":{},\"linf\":{},", json_f64(n.l1), json_f64(n.linf)))
-            }
-            None => s.push_str("\"l1\":null,\"linf\":null,"),
-        }
-        s.push_str(&format!("\"l1_tolerance\":{},", json_f64(self.l1_tolerance)));
-        s.push_str(&format!("\"energy_drift\":{},", json_f64(self.energy_drift)));
-        s.push_str(&format!("\"momentum_drift\":{},", json_f64(self.momentum_drift)));
-        s.push_str("\"checks\":[");
-        for (i, c) in self.checks.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            s.push_str(&format!(
-                "{{\"name\":{:?},\"measured\":{},\"threshold\":{},\"passed\":{}}}",
-                c.name,
-                json_f64(c.measured),
-                json_f64(c.threshold),
-                c.passed
-            ));
-        }
-        s.push_str("],\"metrics\":{");
-        for (i, (k, v)) in self.metrics.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            s.push_str(&format!("{k:?}:{}", json_f64(*v)));
-        }
-        s.push_str(&format!("}},\"passed\":{}}}", self.passed));
-        s
+    /// The report as a [`sph_json::Value`] tree (non-finite numbers map
+    /// to `null` per the shared writer's contract).
+    pub fn to_value(&self) -> Value {
+        let (l1, linf) = match self.norms {
+            Some(n) => (Value::Num(n.l1), Value::Num(n.linf)),
+            None => (Value::Null, Value::Null),
+        };
+        Value::obj(vec![
+            ("scenario", Value::str(&self.scenario)),
+            ("n_particles", Value::Num(self.n_particles as f64)),
+            ("steps", Value::Num(self.steps as f64)),
+            ("end_time", Value::Num(self.end_time)),
+            ("l1", l1),
+            ("linf", linf),
+            ("l1_tolerance", Value::Num(self.l1_tolerance)),
+            ("energy_drift", Value::Num(self.energy_drift)),
+            ("momentum_drift", Value::Num(self.momentum_drift)),
+            (
+                "checks",
+                Value::Arr(
+                    self.checks
+                        .iter()
+                        .map(|c| {
+                            Value::obj(vec![
+                                ("name", Value::str(c.name)),
+                                ("measured", Value::Num(c.measured)),
+                                ("threshold", Value::Num(c.threshold)),
+                                ("passed", Value::Bool(c.passed)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "metrics",
+                Value::Obj(
+                    self.metrics.iter().map(|(k, v)| (k.to_string(), Value::Num(*v))).collect(),
+                ),
+            ),
+            ("passed", Value::Bool(self.passed)),
+        ])
     }
-}
 
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        // `{}` on f64 is the shortest round-trip form, which is valid
-        // JSON for every finite value.
-        format!("{v}")
-    } else {
-        "null".to_string()
+    /// Serialise as compact JSON text (shared hand-rolled writer — the
+    /// workspace is offline, so no serde).
+    pub fn to_json(&self) -> String {
+        self.to_value().render()
     }
 }
 

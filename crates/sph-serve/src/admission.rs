@@ -1,0 +1,247 @@
+//! Cost-model admission control.
+//!
+//! Every submitted job is priced in *modelled seconds* with
+//! `sph-cluster`'s step model before it is allowed to queue: predicted
+//! per-step compute time (calibrated machine × counted work) times the
+//! requested step count. Pricing serves two gates:
+//!
+//! * a per-job ceiling (`max_job_seconds`) rejects jobs that would
+//!   monopolise the server outright (HTTP 429, with the price in the
+//!   error body so clients can resize);
+//! * a concurrency budget (`budget_seconds`) bounds the *sum* of prices
+//!   of running jobs — dispatch holds queued jobs back until capacity
+//!   frees up, so one expensive job cannot starve the cheap ones behind
+//!   it (the dispatcher skip-scans the FIFO).
+//!
+//! The calibrator starts from the Piz Daint prior and sharpens online:
+//! each completed job contributes its measured per-rank seconds and
+//! counted work as a calibration observation, so prices converge to this
+//! host's actual throughput instead of the paper machine's.
+
+use crate::api::JobSpec;
+use crate::error::ServeError;
+use sph_cluster::step_model::MeasuredStep;
+use sph_cluster::{piz_daint, CostModel, OnlineCalibrator};
+use sph_domain::{Decomposition, HaloExchange};
+use std::collections::BTreeMap;
+
+/// Reference lateral particle count used to estimate problem size from a
+/// resolution scale before the first job of a scenario completes
+/// (scenario lattices are O((lateral·scale)³) in 3-D).
+const REF_LATERAL: f64 = 10.0;
+/// Assumed pair-interaction count per particle per step for pricing.
+const NEIGHBORS_PER_PARTICLE: f64 = 100.0;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Sum of prices of concurrently *running* jobs may not exceed this.
+    pub budget_seconds: f64,
+    /// A single job priced above this is rejected outright.
+    pub max_job_seconds: f64,
+    /// Maximum queued (admitted but not yet running) jobs.
+    pub max_queue_depth: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { budget_seconds: 600.0, max_job_seconds: 120.0, max_queue_depth: 1024 }
+    }
+}
+
+/// One completed job's measurements, owned so the worker thread can hand
+/// them across the state mutex for calibration.
+#[derive(Debug, Clone)]
+pub struct CalibrationSample {
+    pub assignment: Vec<u32>,
+    pub nranks: usize,
+    pub halos: HaloExchange,
+    /// Per-particle work units accumulated over the whole run.
+    pub work: Vec<f64>,
+    /// Per-rank busy seconds averaged to one step.
+    pub per_rank_seconds: Vec<f64>,
+    pub n_particles: usize,
+    pub scale: f64,
+    pub scenario: String,
+}
+
+pub struct Admission {
+    cfg: AdmissionConfig,
+    calibrator: OnlineCalibrator,
+    /// Modelled seconds of currently running jobs.
+    outstanding_seconds: f64,
+    /// Observed particles per unit scale³, per scenario — replaces the
+    /// `REF_LATERAL` guess once a job of that scenario has completed.
+    particle_density: BTreeMap<String, f64>,
+    rejected_over_budget: u64,
+    rejected_queue_full: u64,
+}
+
+impl Admission {
+    pub fn new(cfg: AdmissionConfig) -> Admission {
+        Admission {
+            cfg,
+            calibrator: OnlineCalibrator::new(piz_daint(), CostModel::default()),
+            outstanding_seconds: 0.0,
+            particle_density: BTreeMap::new(),
+            rejected_over_budget: 0,
+            rejected_queue_full: 0,
+        }
+    }
+
+    fn estimate_particles(&self, spec: &JobSpec) -> f64 {
+        let volume_scale = spec.scale.powi(3);
+        match self.particle_density.get(&spec.scenario) {
+            Some(density) => (density * volume_scale).max(1.0),
+            None => (REF_LATERAL * spec.scale).powi(3).max(1.0),
+        }
+    }
+
+    /// Price a spec in modelled seconds with the current calibration.
+    pub fn price(&self, spec: &JobSpec) -> f64 {
+        let n = self.estimate_particles(spec);
+        let per_step = self.calibrator.predict_step_seconds(n * NEIGHBORS_PER_PARTICLE, n);
+        per_step * spec.steps as f64
+    }
+
+    /// Gate a submission: returns the price on success, or a 429-class
+    /// error. Queue-depth and per-job-ceiling checks happen here; the
+    /// *budget* gate is applied at dispatch time (see [`Self::can_start`])
+    /// so queued jobs wait rather than bounce.
+    pub fn try_admit(&mut self, spec: &JobSpec, queue_depth: usize) -> Result<f64, ServeError> {
+        let price = self.price(spec);
+        if price > self.cfg.max_job_seconds {
+            self.rejected_over_budget += 1;
+            return Err(ServeError::OverBudget {
+                price_seconds: price,
+                max_job_seconds: self.cfg.max_job_seconds,
+            });
+        }
+        if queue_depth >= self.cfg.max_queue_depth {
+            self.rejected_queue_full += 1;
+            return Err(ServeError::QueueFull { depth: queue_depth });
+        }
+        Ok(price)
+    }
+
+    /// May a job of this price start now? Always true when nothing is
+    /// running (a single job over budget would otherwise deadlock).
+    pub fn can_start(&self, price: f64) -> bool {
+        self.outstanding_seconds == 0.0
+            || self.outstanding_seconds + price <= self.cfg.budget_seconds
+    }
+
+    pub fn on_start(&mut self, price: f64) {
+        self.outstanding_seconds += price;
+    }
+
+    /// Release a finished job's budget share and fold its measurements
+    /// into the calibration (when the run produced usable ones).
+    pub fn on_finish(&mut self, price: f64, sample: Option<&CalibrationSample>) {
+        self.outstanding_seconds = (self.outstanding_seconds - price).max(0.0);
+        let Some(s) = sample else { return };
+        let volume_scale = s.scale.powi(3).max(f64::MIN_POSITIVE);
+        self.particle_density.insert(s.scenario.clone(), s.n_particles as f64 / volume_scale);
+        let decomposition = Decomposition::new(s.assignment.clone(), s.nranks);
+        let measured =
+            MeasuredStep { decomposition: &decomposition, halos: &s.halos, work: &s.work };
+        self.calibrator.observe(&measured, &s.per_rank_seconds);
+    }
+
+    pub fn outstanding_seconds(&self) -> f64 {
+        self.outstanding_seconds
+    }
+
+    pub fn observations(&self) -> u64 {
+        self.calibrator.observations()
+    }
+
+    pub fn core_gflops(&self) -> f64 {
+        self.calibrator.machine().core_gflops
+    }
+
+    pub fn rejections(&self) -> (u64, u64) {
+        (self.rejected_over_budget, self.rejected_queue_full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(steps: u64, scale: f64) -> JobSpec {
+        JobSpec { scenario: "sod".into(), scale, steps, seed: 0 }
+    }
+
+    #[test]
+    fn price_scales_with_steps_and_resolution() {
+        let adm = Admission::new(AdmissionConfig::default());
+        let base = adm.price(&spec(10, 1.0));
+        assert!(base > 0.0 && base.is_finite());
+        let doubled_steps = adm.price(&spec(20, 1.0));
+        assert!((doubled_steps / base - 2.0).abs() < 1e-9);
+        assert!(adm.price(&spec(10, 2.0)) > base);
+    }
+
+    #[test]
+    fn per_job_ceiling_rejects_with_price_attached() {
+        let mut adm = Admission::new(AdmissionConfig {
+            max_job_seconds: 1e-12,
+            ..AdmissionConfig::default()
+        });
+        let err = adm.try_admit(&spec(1000, 2.0), 0).unwrap_err();
+        match err {
+            ServeError::OverBudget { price_seconds, max_job_seconds } => {
+                assert!(price_seconds > max_job_seconds);
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+        assert_eq!(adm.rejections().0, 1);
+    }
+
+    #[test]
+    fn queue_depth_gate() {
+        let mut adm =
+            Admission::new(AdmissionConfig { max_queue_depth: 2, ..AdmissionConfig::default() });
+        assert!(adm.try_admit(&spec(1, 1.0), 1).is_ok());
+        let err = adm.try_admit(&spec(1, 1.0), 2).unwrap_err();
+        assert_eq!(err.status(), 429);
+        assert_eq!(adm.rejections().1, 1);
+    }
+
+    #[test]
+    fn budget_gates_dispatch_but_never_deadlocks() {
+        let mut adm =
+            Admission::new(AdmissionConfig { budget_seconds: 1.0, ..AdmissionConfig::default() });
+        // Idle server: even an over-budget price may start.
+        assert!(adm.can_start(5.0));
+        adm.on_start(0.8);
+        assert!(!adm.can_start(0.5));
+        assert!(adm.can_start(0.2));
+        adm.on_finish(0.8, None);
+        assert_eq!(adm.outstanding_seconds(), 0.0);
+        assert!(adm.can_start(5.0));
+    }
+
+    #[test]
+    fn completed_jobs_refine_scenario_density() {
+        let mut adm = Admission::new(AdmissionConfig::default());
+        let guess = adm.price(&spec(10, 1.0));
+        // Report that "sod" at scale 1 actually has 8000 particles
+        // (vs the REF_LATERAL³ = 1000 guess): price must rise.
+        let sample = CalibrationSample {
+            assignment: vec![0; 8],
+            nranks: 1,
+            halos: HaloExchange { imports: vec![vec![]], pair_volume: vec![0], nparts: 1 },
+            work: vec![0.0; 8],
+            per_rank_seconds: vec![0.0],
+            n_particles: 8000,
+            scale: 1.0,
+            scenario: "sod".into(),
+        };
+        adm.on_finish(0.0, Some(&sample));
+        assert!(adm.price(&spec(10, 1.0)) > guess);
+        // Degenerate measurements refine density but add no calibration
+        // observation (zero work/seconds are refused, not panicked on).
+        assert_eq!(adm.observations(), 0);
+    }
+}
